@@ -1,0 +1,130 @@
+"""Ablations of the contesting design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the contribution of individual
+mechanisms on a fixed (benchmark, pair): result injection (via an
+effectively-infinite GRB latency), the Figure-5 early-branch-resolution
+corner case, the synchronizing store-queue capacity, the maximum lagging
+distance, and 2-way vs 3-way contesting.
+"""
+
+from conftest import run_once
+
+from repro.core.system import ContestingSystem
+from repro.uarch.config import core_config
+
+BENCH = "vpr"
+PAIR = ("bzip", "vpr")
+
+
+def _contest(ctx, **kwargs):
+    trace = ctx.trace(BENCH)
+    configs = [core_config(n) for n in kwargs.pop("pair", PAIR)]
+    return ContestingSystem(configs, trace, **kwargs).run()
+
+
+def test_ablation_injection(benchmark, ctx, capsys):
+    """Injection off == results arrive far too late to pair."""
+    def run():
+        on = _contest(ctx)
+        off = _contest(ctx, grb_latency_ns=10_000.0)
+        return on, off
+
+    on, off = run_once(benchmark, run)
+    with capsys.disabled():
+        print(f"\nablation: injection  on={on.ipt:.3f} IPT "
+              f"off(10us GRB)={off.ipt:.3f} IPT "
+              f"(injected {sum(s.injected for s in on.per_core.values())} vs "
+              f"{sum(s.injected for s in off.per_core.values())})")
+
+
+def test_ablation_early_branch_resolution(benchmark, ctx, capsys):
+    def run():
+        on = _contest(ctx, early_branch_resolution=True)
+        off = _contest(ctx, early_branch_resolution=False)
+        return on, off
+
+    on, off = run_once(benchmark, run)
+    with capsys.disabled():
+        early = sum(s.early_resolved for s in on.per_core.values())
+        print(f"\nablation: Figure-5 early resolution  on={on.ipt:.3f} "
+              f"off={off.ipt:.3f} (events when on: {early})")
+
+
+def test_ablation_store_queue_capacity(benchmark, ctx, capsys):
+    def run():
+        return {
+            cap: _contest(ctx, store_queue_capacity=cap)
+            for cap in (8, 64, 512)
+        }
+
+    results = run_once(benchmark, run)
+    with capsys.disabled():
+        print("\nablation: store-queue capacity  " + "  ".join(
+            f"{cap}:{r.ipt:.3f}IPT/{r.store_stalls}stalls"
+            for cap, r in results.items()
+        ))
+
+
+def test_ablation_max_lag(benchmark, ctx, capsys):
+    def run():
+        return {
+            lag: _contest(ctx, max_lag=lag)
+            for lag in (64, 512, 4096)
+        }
+
+    results = run_once(benchmark, run)
+    with capsys.disabled():
+        print("\nablation: max lagging distance  " + "  ".join(
+            f"{lag}:{r.ipt:.3f}IPT/sat={','.join(r.saturated) or '-'}"
+            for lag, r in results.items()
+        ))
+
+
+def test_ablation_nway(benchmark, ctx, capsys):
+    def run():
+        two = _contest(ctx)
+        three = _contest(ctx, pair=("bzip", "vpr", "gcc"))
+        return two, three
+
+    two, three = run_once(benchmark, run)
+    with capsys.disabled():
+        print(f"\nablation: N-way  2-way={two.ipt:.3f} IPT "
+              f"3-way={three.ipt:.3f} IPT")
+
+
+def test_ablation_limit_study(benchmark, ctx, capsys):
+    """Split the contesting gain: perfect predictors isolate memory-system
+    heterogeneity; perfect caches isolate branch/pipeline heterogeneity."""
+    import dataclasses
+
+    def run():
+        base = _contest(ctx)
+        pp = [dataclasses.replace(core_config(n), perfect_predictor=True) for n in PAIR]
+        pc = [dataclasses.replace(core_config(n), perfect_caches=True) for n in PAIR]
+        perfect_pred = ContestingSystem(pp, ctx.trace(BENCH)).run()
+        perfect_cache = ContestingSystem(pc, ctx.trace(BENCH)).run()
+        return base, perfect_pred, perfect_cache
+
+    base, pred, cache = run_once(benchmark, run)
+    with capsys.disabled():
+        print(f"\nablation: limit study  real={base.ipt:.3f}  "
+              f"perfect-predictors={pred.ipt:.3f}  perfect-caches={cache.ipt:.3f}")
+
+
+def test_ablation_lagger_policy(benchmark, ctx, capsys):
+    def run():
+        kw = dict(max_lag=256, sat_grace_ns=20.0)
+        disable = ContestingSystem(
+            [core_config(n) for n in PAIR], ctx.trace(BENCH),
+            lagger_policy="disable", **kw,
+        ).run()
+        resync = ContestingSystem(
+            [core_config(n) for n in PAIR], ctx.trace(BENCH),
+            lagger_policy="resync", **kw,
+        ).run()
+        return disable, resync
+
+    disable, resync = run_once(benchmark, run)
+    with capsys.disabled():
+        print(f"\nablation: lagger policy  disable={disable.ipt:.3f} "
+              f"(sat={disable.saturated})  resync={resync.ipt:.3f}")

@@ -1,0 +1,11 @@
+"""Regenerate Appendix A IPT matrix (see repro.experiments.appendix_a)."""
+
+from repro.experiments import appendix_a
+from conftest import run_once
+
+
+def test_appendix_a(benchmark, ctx, capsys):
+    result = run_once(benchmark, appendix_a.run, ctx)
+    with capsys.disabled():
+        print()
+        print(result.render())

@@ -1,0 +1,11 @@
+"""Regenerate Figure 1 oracle switching curves (see repro.experiments.fig01)."""
+
+from repro.experiments import fig01
+from conftest import run_once
+
+
+def test_fig01(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig01.run, ctx)
+    with capsys.disabled():
+        print()
+        print(result.render())

@@ -1,0 +1,11 @@
+"""Regenerate Figure 6 contesting vs own core (see repro.experiments.fig06)."""
+
+from repro.experiments import fig06
+from conftest import run_once
+
+
+def test_fig06(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig06.run, ctx)
+    with capsys.disabled():
+        print()
+        print(result.render())

@@ -1,0 +1,11 @@
+"""Regenerate Figure 7 L2-heterogeneity isolation (see repro.experiments.fig07)."""
+
+from repro.experiments import fig07
+from conftest import run_once
+
+
+def test_fig07(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig07.run, ctx)
+    with capsys.disabled():
+        print()
+        print(result.render())

@@ -1,0 +1,11 @@
+"""Regenerate Figure 8 core-to-core latency sweep (see repro.experiments.fig08)."""
+
+from repro.experiments import fig08
+from conftest import run_once
+
+
+def test_fig08(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig08.run, ctx)
+    with capsys.disabled():
+        print()
+        print(result.render())

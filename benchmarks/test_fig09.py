@@ -1,0 +1,11 @@
+"""Regenerate Figure 9 per-benchmark IPT across designs (see repro.experiments.fig09)."""
+
+from repro.experiments import fig09
+from conftest import run_once
+
+
+def test_fig09(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig09.run, ctx)
+    with capsys.disabled():
+        print()
+        print(result.render())

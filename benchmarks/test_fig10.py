@@ -1,0 +1,11 @@
+"""Regenerate Figure 10 HET-A contesting (see repro.experiments.fig10)."""
+
+from repro.experiments import fig10
+from conftest import run_once
+
+
+def test_fig10(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig10.run, ctx)
+    with capsys.disabled():
+        print()
+        print(fig10.render(result))

@@ -1,0 +1,11 @@
+"""Regenerate Figure 11 HET-B contesting (see repro.experiments.fig11)."""
+
+from repro.experiments import fig11
+from conftest import run_once
+
+
+def test_fig11(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig11.run, ctx)
+    with capsys.disabled():
+        print()
+        print(fig11.render(result))

@@ -1,0 +1,11 @@
+"""Regenerate Figure 12 HET-C contesting (see repro.experiments.fig12)."""
+
+from repro.experiments import fig12
+from conftest import run_once
+
+
+def test_fig12(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig12.run, ctx)
+    with capsys.disabled():
+        print()
+        print(fig12.render(result))

@@ -1,0 +1,11 @@
+"""Regenerate Figure 13 contesting vs more core types (see repro.experiments.fig13)."""
+
+from repro.experiments import fig13
+from conftest import run_once
+
+
+def test_fig13(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig13.run, ctx)
+    with capsys.disabled():
+        print()
+        print(result.render())

@@ -1,0 +1,27 @@
+"""Raw simulator throughput (cycles/second), for performance regressions."""
+
+from conftest import run_once
+
+from repro.isa.generator import generate_trace
+from repro.isa.workloads import workload_profile
+from repro.uarch.config import core_config
+from repro.uarch.run import run_standalone
+
+
+def test_standalone_throughput(benchmark, capsys):
+    trace = generate_trace(workload_profile("gcc"), 20_000, seed=11)
+    result = run_once(benchmark, run_standalone, core_config("gcc"), trace)
+    with capsys.disabled():
+        print(f"\nstandalone: {result.cycles} cycles simulated")
+
+
+def test_contest_throughput(benchmark, capsys):
+    from repro.core.system import run_contest
+
+    trace = generate_trace(workload_profile("gcc"), 20_000, seed=11)
+    result = run_once(
+        benchmark, run_contest, core_config("gcc"), core_config("vpr"), trace
+    )
+    with capsys.disabled():
+        print(f"\ncontest: finished at {result.time_ps} ps, "
+              f"{result.lead_changes} lead changes")

@@ -1,0 +1,11 @@
+"""Regenerate Table 1 CMP designs (see repro.experiments.table1)."""
+
+from repro.experiments import table1
+from conftest import run_once
+
+
+def test_table1(benchmark, ctx, capsys):
+    result = run_once(benchmark, table1.run, ctx)
+    with capsys.disabled():
+        print()
+        print(result.render())

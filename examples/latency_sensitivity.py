@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Figure-8 style study: how the GRB propagation latency erodes contesting.
+
+Contests one benchmark's pair across a sweep of core-to-core latencies and
+shows the follower's injection/early-resolution activity shrinking as
+results arrive too late to matter.
+"""
+
+from repro import core_config, generate_trace, run_contest, run_standalone, workload_profile
+
+
+def main():
+    bench = "vpr"
+    pair = ("bzip", "vpr")
+    trace = generate_trace(workload_profile(bench), 40_000, seed=11)
+    own = run_standalone(core_config(bench), trace).ipt
+    print(f"{bench} on its own core: {own:.3f} IPT; contesting {pair}:")
+    print(f"{'latency':>9s} {'IPT':>7s} {'speedup':>8s} {'leadchg':>8s} "
+          f"{'injected':>9s} {'early-resolved':>14s}")
+    for latency_ns in (0.5, 1, 2, 5, 10, 25, 50, 100):
+        r = run_contest(
+            core_config(pair[0]), core_config(pair[1]), trace,
+            grb_latency_ns=latency_ns,
+        )
+        injected = sum(s.injected for s in r.per_core.values())
+        early = sum(s.early_resolved for s in r.per_core.values())
+        print(f"{latency_ns:>7.1f}ns {r.ipt:7.3f} "
+              f"{(r.ipt / own - 1) * 100:+7.1f}% {r.lead_changes:8d} "
+              f"{injected:9d} {early:14d}")
+
+
+if __name__ == "__main__":
+    main()

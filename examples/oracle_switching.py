@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Section-2 motivation: how fast does the best microarchitecture change?
+
+Logs per-20-instruction region times for one benchmark on every customised
+core, then computes the oracle pairwise-switching speedup at doubling
+granularities (the paper's Figure 1) and locates the knee.
+"""
+
+import sys
+
+from repro import BENCHMARKS, core_config, generate_trace, oracle_switching_curve, region_log, workload_profile
+
+
+def main():
+    bench = sys.argv[1] if len(sys.argv) > 1 else "vpr"
+    if bench not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {bench!r}; pick from {BENCHMARKS}")
+    trace = generate_trace(workload_profile(bench), 30_000, seed=11)
+    print(f"logging 20-instruction regions of {bench} on all "
+          f"{len(BENCHMARKS)} cores...")
+    logs = {
+        core: region_log(core_config(core), trace) for core in BENCHMARKS
+    }
+    curve = oracle_switching_curve(bench, logs)
+    print(f"\noracle switching speedup over the {bench} core:")
+    for granularity, pair, speedup in curve.points:
+        print(f"  {granularity:>7d} instructions: {speedup:+6.2f}%  "
+              f"(best pair {pair[0]}+{pair[1]})")
+    print(f"\nknee: ~{curve.knee_granularity()} instructions "
+          "(the paper reports most benefit gone by ~1280)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: run 2-way architectural contesting on a synthetic workload.
+
+Generates a gcc-like phase-structured trace, runs it standalone on the gcc
+and vpr customised cores, then contests the two cores and reports the
+emergent leader-follower behaviour (lead changes, injected results, early
+branch resolutions).
+"""
+
+from repro import core_config, generate_trace, run_contest, run_standalone, workload_profile
+
+
+def main():
+    trace = generate_trace(workload_profile("gcc"), 40_000, seed=11)
+    print(f"trace: {trace.name}, {len(trace)} instructions, "
+          f"{len(trace.phase_starts)} fine-grain phase changes")
+
+    gcc = core_config("gcc")
+    vpr = core_config("vpr")
+    alone_gcc = run_standalone(gcc, trace)
+    alone_vpr = run_standalone(vpr, trace)
+    print(f"standalone gcc core: {alone_gcc.ipt:.3f} IPT "
+          f"(IPC {alone_gcc.ipc:.2f}, mispredict {alone_gcc.stats.mispredict_rate:.1%})")
+    print(f"standalone vpr core: {alone_vpr.ipt:.3f} IPT "
+          f"(IPC {alone_vpr.ipc:.2f})")
+
+    contest = run_contest(gcc, vpr, trace, grb_latency_ns=1.0)
+    best_alone = max(alone_gcc.ipt, alone_vpr.ipt)
+    print(f"\n2-way contesting (1 ns GRB latency): {contest.ipt:.3f} IPT "
+          f"({(contest.ipt / best_alone - 1) * 100:+.1f}% vs best single core)")
+    print(f"finishing core: {contest.winner}; lead changes: {contest.lead_changes}")
+    for name, stats in contest.per_core.items():
+        print(f"  {name}: injected {stats.injected} results, "
+              f"early-resolved {stats.early_resolved} branches, "
+              f"{stats.mispredicts} own mispredicts")
+    if contest.saturated:
+        print(f"saturated laggers: {contest.saturated}")
+    print(f"merged stores through the synchronizing store queue: "
+          f"{contest.merged_stores} (stalls: {contest.store_stalls})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package (pip then falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

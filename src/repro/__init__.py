@@ -1,0 +1,84 @@
+"""repro — a reproduction of "Architectural Contesting" (HPCA 2009).
+
+Najaf-abadi & Rotenberg propose *architectural contesting*: several
+heterogeneous cores concurrently execute the same thread in a
+leader-follower arrangement, each broadcasting retired-instruction results
+on a global result bus so that trailing cores never fall far behind and the
+core best suited to the immediate fine-grain code region automatically takes
+the lead.
+
+Quickstart::
+
+    from repro import (
+        generate_trace, workload_profile, core_config,
+        run_standalone, run_contest,
+    )
+
+    trace = generate_trace(workload_profile("gcc"), 60_000, seed=11)
+    alone = run_standalone(core_config("gcc"), trace)
+    both = run_contest(core_config("gcc"), core_config("vpr"), trace)
+    print(alone.ipt, both.ipt, both.lead_changes)
+
+Subpackages
+-----------
+``repro.isa``
+    Synthetic phase-structured traces (the SPEC2000int SimPoint stand-in).
+``repro.uarch``
+    The cycle-stepped out-of-order core timing model and the published
+    Appendix-A core palette.
+``repro.core``
+    The contesting mechanism itself (GRBs, result FIFOs, pop/fetch counter
+    logic, injection, synchronizing store queue, saturated laggers).
+``repro.analysis``
+    The Section-2 oracle-switching analysis (Figure 1).
+``repro.cmp``
+    Constrained heterogeneous CMP design under the paper's three figures of
+    merit (Table 1, Figures 9-13).
+``repro.explore``
+    Simulated-annealing design-space exploration (the XpScalar stand-in).
+``repro.experiments``
+    One module per table/figure of the paper's evaluation, plus a CLI
+    runner (``python -m repro.experiments``).
+"""
+
+from repro.analysis import oracle_switching_curve, region_log
+from repro.cmp import design_suite
+from repro.core import ContestingSystem, ContestResult, run_contest
+from repro.explore import simulated_annealing
+from repro.isa import (
+    BENCHMARKS,
+    Trace,
+    characterize,
+    generate_trace,
+    workload_profile,
+)
+from repro.uarch import (
+    APPENDIX_A_CORES,
+    Core,
+    CoreConfig,
+    core_config,
+    run_standalone,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPENDIX_A_CORES",
+    "BENCHMARKS",
+    "ContestResult",
+    "ContestingSystem",
+    "Core",
+    "CoreConfig",
+    "Trace",
+    "characterize",
+    "core_config",
+    "design_suite",
+    "generate_trace",
+    "oracle_switching_curve",
+    "region_log",
+    "run_contest",
+    "run_standalone",
+    "simulated_annealing",
+    "workload_profile",
+    "__version__",
+]

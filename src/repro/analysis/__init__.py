@@ -1,0 +1,29 @@
+"""Section-2 analysis: oracle switching between configurations.
+
+The paper motivates contesting by logging, for each benchmark, the time to
+retire every 20 dynamic instructions on each customised configuration, then
+asking: if execution could switch between two configurations at a given
+granularity (each region retired at the faster of the two, clock periods
+included), how much faster would the benchmark run than on its own
+customised configuration?  Repeating for region sizes of 20·2^k instructions
+produces Figure 1; the knee near ~1280 instructions is the paper's evidence
+that useful behaviour variation is too fine-grain for prior adaptation or
+migration techniques.
+"""
+
+from repro.analysis.regions import RegionLog, region_log
+from repro.analysis.switching import (
+    OracleCurve,
+    best_pair_at_granularity,
+    oracle_switching_curve,
+    pair_switch_time,
+)
+
+__all__ = [
+    "OracleCurve",
+    "RegionLog",
+    "best_pair_at_granularity",
+    "oracle_switching_curve",
+    "pair_switch_time",
+    "region_log",
+]

@@ -1,0 +1,70 @@
+"""Per-region execution-time logs (the paper's 20-instruction logs)."""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.trace import Trace
+from repro.uarch.config import CoreConfig
+from repro.uarch.run import run_standalone
+
+#: The paper's base region size in dynamic instructions.
+BASE_REGION = 20
+
+
+@dataclass
+class RegionLog:
+    """Execution time of every ``region_size``-instruction region, in ps.
+
+    ``times_ps[i]`` is the time the core spent retiring instructions
+    ``[i*region_size, (i+1)*region_size)``; clock periods are already folded
+    in because the log is recorded in wall time, exactly as the paper's
+    methodology requires ("while factoring in the clock periods").
+    """
+
+    config_name: str
+    trace_name: str
+    region_size: int
+    times_ps: List[int]
+
+    @property
+    def total_ps(self) -> int:
+        return sum(self.times_ps)
+
+    def coarsen(self, factor: int) -> "RegionLog":
+        """Merge ``factor`` consecutive regions (the paper's "summing the
+        execution time of neighbouring regions")."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if factor == 1:
+            return self
+        merged = [
+            sum(self.times_ps[i : i + factor])
+            for i in range(0, len(self.times_ps), factor)
+        ]
+        return RegionLog(
+            config_name=self.config_name,
+            trace_name=self.trace_name,
+            region_size=self.region_size * factor,
+            times_ps=merged,
+        )
+
+
+def region_log(
+    config: CoreConfig, trace: Trace, region_size: int = BASE_REGION
+) -> RegionLog:
+    """Run ``trace`` standalone on ``config`` and log per-region times."""
+    result = run_standalone(config, trace, region_size=region_size)
+    boundaries = result.region_times_ps
+    times = [boundaries[0]] if boundaries else []
+    times += [b - a for a, b in zip(boundaries, boundaries[1:])]
+    # The final partial region (trace length not a multiple of region_size)
+    # is charged at the run's total time minus the last boundary.
+    tail = result.time_ps - (boundaries[-1] if boundaries else 0)
+    if tail > 0 and len(trace) % region_size != 0:
+        times.append(tail)
+    return RegionLog(
+        config_name=config.name,
+        trace_name=trace.name,
+        region_size=region_size,
+        times_ps=times,
+    )

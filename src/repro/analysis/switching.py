@@ -1,0 +1,114 @@
+"""Oracle pairwise switching at doubling granularities (Figure 1)."""
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.regions import RegionLog
+
+
+def pair_switch_time(log_a: RegionLog, log_b: RegionLog) -> int:
+    """Total time if every region retires at the faster of two configs.
+
+    Both logs must come from the same trace at the same region size.
+    """
+    if log_a.region_size != log_b.region_size:
+        raise ValueError("region sizes differ")
+    if len(log_a.times_ps) != len(log_b.times_ps):
+        raise ValueError("region counts differ; logs are not comparable")
+    return sum(min(a, b) for a, b in zip(log_a.times_ps, log_b.times_ps))
+
+
+def best_pair_at_granularity(
+    logs: Dict[str, RegionLog], factor: int
+) -> Tuple[Tuple[str, str], int]:
+    """Best two-config combination at region size ``base * factor``.
+
+    Returns ``((name_a, name_b), total_time_ps)`` minimising the switched
+    execution time over all pairs, including same-config "pairs" (which
+    reduce to standalone execution and can win only when no pair helps).
+    """
+    coarse = {name: log.coarsen(factor) for name, log in logs.items()}
+    best_pair = None
+    best_time = None
+    for a, b in itertools.combinations(sorted(coarse), 2):
+        t = pair_switch_time(coarse[a], coarse[b])
+        if best_time is None or t < best_time:
+            best_time = t
+            best_pair = (a, b)
+    if best_pair is None:
+        raise ValueError("need at least two configuration logs")
+    return best_pair, best_time
+
+
+@dataclass
+class OracleCurve:
+    """One benchmark's Figure-1 curve.
+
+    ``points[k] = (granularity_instructions, best_pair, speedup_percent)``
+    where speedup is over the benchmark's own customised configuration.
+    """
+
+    benchmark: str
+    own_config: str
+    points: List[Tuple[int, Tuple[str, str], float]]
+
+    def speedups(self) -> List[float]:
+        """Speedup percentages in granularity order."""
+        return [p[2] for p in self.points]
+
+    def granularities(self) -> List[int]:
+        """Region sizes (instructions) in curve order."""
+        return [p[0] for p in self.points]
+
+    def knee_granularity(self, fraction: float = 0.25) -> int:
+        """Largest granularity retaining at least ``fraction`` of the
+        finest-granularity speedup — a simple knee locator for the
+        "knee near 1280 instructions" observation."""
+        if not self.points:
+            raise ValueError("empty curve")
+        finest = self.points[0][2]
+        if finest <= 0:
+            return self.points[0][0]
+        knee = self.points[0][0]
+        for granularity, _, speedup in self.points:
+            if speedup >= fraction * finest:
+                knee = granularity
+        return knee
+
+
+def oracle_switching_curve(
+    benchmark: str,
+    logs: Dict[str, RegionLog],
+    max_doublings: int = 0,
+) -> OracleCurve:
+    """Compute the Figure-1 curve for one benchmark.
+
+    Parameters
+    ----------
+    benchmark:
+        The benchmark name; ``logs[benchmark]`` must be the log on its own
+        customised configuration (the speedup baseline).
+    logs:
+        Region logs of the same trace on every candidate configuration.
+    max_doublings:
+        Number of granularity doublings to evaluate; 0 derives the maximum
+        that still leaves at least two regions.
+    """
+    if benchmark not in logs:
+        raise KeyError(f"no region log for baseline config {benchmark!r}")
+    own_total = logs[benchmark].total_ps
+    n_regions = len(logs[benchmark].times_ps)
+    if max_doublings <= 0:
+        max_doublings = max(1, (n_regions // 2).bit_length())
+    points = []
+    factor = 1
+    base = logs[benchmark].region_size
+    for _ in range(max_doublings):
+        if n_regions // factor < 2:
+            break
+        pair, t = best_pair_at_granularity(logs, factor)
+        speedup = (own_total / t - 1.0) * 100.0
+        points.append((base * factor, pair, speedup))
+        factor *= 2
+    return OracleCurve(benchmark=benchmark, own_config=benchmark, points=points)

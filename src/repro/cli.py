@@ -1,0 +1,149 @@
+"""Command-line tools.
+
+``repro-sim`` — run one standalone or contested simulation:
+
+    repro-sim gcc --core gcc                      # standalone
+    repro-sim gcc --core gcc --core vpr           # 2-way contesting
+    repro-sim twolf --core vortex --core vpr --latency-ns 5 --length 40000
+
+``repro-trace`` — generate, save, load and characterise traces:
+
+    repro-trace generate gcc --length 60000 --out gcc.rtrc
+    repro-trace info gcc.rtrc
+    repro-trace characterize gcc --length 20000
+"""
+
+import argparse
+from typing import List, Optional
+
+from repro.core.system import ContestingSystem
+from repro.isa.generator import generate_trace
+from repro.isa.serialize import load_trace, save_trace
+from repro.isa.stats import characterize
+from repro.isa.workloads import BENCHMARKS, workload_profile
+from repro.uarch.config import APPENDIX_A_CORES, core_config
+from repro.uarch.run import run_standalone
+from repro.util.tables import format_table
+
+
+def _trace_from_args(args) -> "Trace":
+    if args.workload.endswith(".rtrc"):
+        return load_trace(args.workload)
+    if args.workload not in BENCHMARKS:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; expected one of "
+            f"{', '.join(BENCHMARKS)} or a .rtrc file"
+        )
+    return generate_trace(
+        workload_profile(args.workload), args.length, seed=args.seed
+    )
+
+
+def sim_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-sim``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Run a standalone or contested simulation",
+    )
+    parser.add_argument(
+        "workload",
+        help=f"benchmark name ({', '.join(BENCHMARKS)}) or a .rtrc trace file",
+    )
+    parser.add_argument(
+        "--core", action="append", default=[], metavar="NAME",
+        help=f"core type (repeat for contesting); one of {', '.join(APPENDIX_A_CORES)}",
+    )
+    parser.add_argument("--length", type=int, default=60_000)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--latency-ns", type=float, default=1.0)
+    parser.add_argument(
+        "--lagger-policy", choices=("disable", "resync"), default="disable"
+    )
+    args = parser.parse_args(argv)
+
+    cores = args.core or [
+        args.workload if args.workload in APPENDIX_A_CORES else "gcc"
+    ]
+    configs = [core_config(name) for name in cores]
+    trace = _trace_from_args(args)
+
+    if len(configs) == 1:
+        result = run_standalone(configs[0], trace)
+        print(
+            f"{trace.name} on {configs[0].name}: {result.ipt:.3f} IPT "
+            f"({result.ipc:.2f} IPC, {result.cycles} cycles, "
+            f"mispredict {result.stats.mispredict_rate:.1%}, "
+            f"L1 miss {result.stats.l1_misses}/{result.stats.l1_accesses})"
+        )
+    else:
+        system = ContestingSystem(
+            configs, trace, grb_latency_ns=args.latency_ns,
+            lagger_policy=args.lagger_policy,
+        )
+        result = system.run()
+        print(
+            f"{trace.name} contested on {'+'.join(cores)}: "
+            f"{result.ipt:.3f} IPT (winner {result.winner}, "
+            f"{result.lead_changes} lead changes, "
+            f"saturated: {', '.join(result.saturated) or 'none'})"
+        )
+        for key, stats in result.per_core.items():
+            print(
+                f"  {key}: committed {stats.committed}, "
+                f"injected {stats.injected}, "
+                f"early-resolved {stats.early_resolved}"
+            )
+    return 0
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-trace``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Generate, inspect and characterise synthetic traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate and save a trace")
+    gen.add_argument("workload", choices=BENCHMARKS)
+    gen.add_argument("--length", type=int, default=60_000)
+    gen.add_argument("--seed", type=int, default=11)
+    gen.add_argument("--out", required=True, metavar="FILE.rtrc")
+
+    info = sub.add_parser("info", help="summarise a saved trace")
+    info.add_argument("path", metavar="FILE.rtrc")
+
+    char = sub.add_parser(
+        "characterize", help="characterise a benchmark profile or saved trace"
+    )
+    char.add_argument("workload")
+    char.add_argument("--length", type=int, default=20_000)
+    char.add_argument("--seed", type=int, default=11)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "generate":
+        trace = generate_trace(
+            workload_profile(args.workload), args.length, seed=args.seed
+        )
+        save_trace(trace, args.out)
+        print(f"wrote {args.out}: {len(trace)} instructions, "
+              f"{len(trace.phase_starts)} phase starts")
+        return 0
+
+    if args.command == "info":
+        trace = load_trace(args.path)
+        print(f"{args.path}: trace {trace.name!r}, {len(trace)} instructions, "
+              f"seed {trace.seed}, {len(trace.phase_starts)} phase starts")
+        return 0
+
+    # characterize
+    args.workload = args.workload  # may be a name or .rtrc
+    trace = _trace_from_args(args)
+    ch = characterize(trace)
+    print(format_table(
+        ["property", "value"],
+        ch.rows(),
+        title=f"Characterisation of {trace.name} ({len(trace)} instructions)",
+    ))
+    return 0

@@ -1,0 +1,45 @@
+"""Constrained heterogeneous CMP design (Section 6).
+
+Given the benchmark-on-core IPT matrix, this package selects which core
+types to include in a CMP with a limited number of core types, under the
+paper's three figures of merit:
+
+* ``avg`` — arithmetic-mean IPT of each benchmark on its most suitable
+  available core (raw throughput; robust to unknown benchmark frequencies),
+* ``har`` — harmonic-mean IPT (total execution time of the suite),
+* ``cw-har`` — contention-weighted harmonic-mean IPT: each benchmark's best
+  IPT is divided by the number of benchmarks preferring the same core type
+  before the harmonic mean, modelling queueing under heavy load via
+  Little's law (Section 6.1).
+
+It also constructs the paper's named designs: HET-A/B/C (two core types
+under avg/har/cw-har), HET-D (three core types under har), HOM (the single
+best core type), and HET-ALL (every core type).
+"""
+
+from repro.cmp.designer import CmpDesign, best_combination, design_suite
+from repro.cmp.queueing import CmpQueueSimulator, JobStream, QueueingResult, compare_designs_under_load
+from repro.cmp.merit import (
+    MERITS,
+    contention_weighted_harmonic_ipt,
+    design_merit,
+    harmonic_ipt,
+    mean_ipt,
+    preferred_core,
+)
+
+__all__ = [
+    "MERITS",
+    "CmpDesign",
+    "CmpQueueSimulator",
+    "JobStream",
+    "QueueingResult",
+    "compare_designs_under_load",
+    "best_combination",
+    "contention_weighted_harmonic_ipt",
+    "design_merit",
+    "design_suite",
+    "harmonic_ipt",
+    "mean_ipt",
+    "preferred_core",
+]

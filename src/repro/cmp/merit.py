@@ -1,0 +1,105 @@
+"""Figures of merit for constrained heterogeneous CMP design (Section 6.1).
+
+All functions take an *IPT matrix* ``matrix[benchmark][core_type]`` and a
+set of available core types, and score the design under the assumption that
+each benchmark runs on the most suitable available core type.
+"""
+
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.util.stats import arithmetic_mean, harmonic_mean
+
+IptMatrix = Mapping[str, Mapping[str, float]]
+
+
+def _check(matrix: IptMatrix, cores: Sequence[str]) -> None:
+    if not cores:
+        raise ValueError("a design needs at least one core type")
+    for bench, row in matrix.items():
+        for core in cores:
+            if core not in row:
+                raise KeyError(f"matrix[{bench!r}] lacks core type {core!r}")
+
+
+def preferred_core(
+    matrix: IptMatrix, bench: str, cores: Sequence[str]
+) -> str:
+    """The most suitable available core type for ``bench``."""
+    row = matrix[bench]
+    return max(cores, key=lambda c: row[c])
+
+
+def best_ipts(
+    matrix: IptMatrix, cores: Sequence[str]
+) -> Dict[str, float]:
+    """Each benchmark's IPT on its most suitable available core type."""
+    _check(matrix, cores)
+    return {
+        bench: matrix[bench][preferred_core(matrix, bench, cores)]
+        for bench in matrix
+    }
+
+
+def mean_ipt(matrix: IptMatrix, cores: Sequence[str]) -> float:
+    """``avg``: arithmetic mean of the best-available IPTs."""
+    return arithmetic_mean(best_ipts(matrix, cores).values())
+
+
+def harmonic_ipt(matrix: IptMatrix, cores: Sequence[str]) -> float:
+    """``har``: harmonic mean of the best-available IPTs — the figure of
+    merit representing total execution time of the suite run one-by-one."""
+    return harmonic_mean(best_ipts(matrix, cores).values())
+
+
+def contention_weighted_harmonic_ipt(
+    matrix: IptMatrix,
+    cores: Sequence[str],
+    weights: Optional[Mapping[str, float]] = None,
+) -> float:
+    """``cw-har``: contention-weighted harmonic-mean IPT (Section 6.1).
+
+    Benchmarks are scheduled to their preferred core type even when busy
+    (queueing); by Little's law the expected queue length at a core type is
+    proportional to the number of benchmark types preferring it, so each
+    benchmark's IPT is divided by that count before the harmonic mean.
+    Optional ``weights`` model an uneven job-submission distribution.
+    """
+    _check(matrix, cores)
+    prefs = {
+        bench: preferred_core(matrix, bench, cores) for bench in matrix
+    }
+    if weights is None:
+        sharers = Counter(prefs.values())
+        load = {bench: sharers[prefs[bench]] for bench in matrix}
+    else:
+        share_weight: Counter = Counter()
+        for bench, core in prefs.items():
+            share_weight[core] += weights.get(bench, 1.0)
+        load = {bench: share_weight[prefs[bench]] for bench in matrix}
+    effective = [
+        matrix[bench][prefs[bench]] / load[bench] for bench in matrix
+    ]
+    return harmonic_mean(effective)
+
+
+#: Figure-of-merit registry keyed by the paper's names.
+MERITS = {
+    "avg": mean_ipt,
+    "har": harmonic_ipt,
+    "cw-har": contention_weighted_harmonic_ipt,
+}
+
+
+def design_merit(
+    matrix: IptMatrix, cores: Sequence[str], merit: str
+) -> float:
+    """Score a set of core types under a named figure of merit."""
+    try:
+        fn = MERITS[merit]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure of merit {merit!r}; expected one of "
+            f"{sorted(MERITS)}"
+        ) from None
+    return fn(matrix, cores)

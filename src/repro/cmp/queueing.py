@@ -1,0 +1,235 @@
+"""Multiprogrammed job-stream simulation (the Section-6.1 setting).
+
+The contention-weighted harmonic-mean figure of merit is derived from two
+assumptions: jobs of each benchmark type arrive uniformly, and the scheduler
+directs a job to the core type it prefers even if all cores of that type
+are busy (queueing).  Under Little's law the expected queue length at a
+core type is then proportional to the number of benchmark types preferring
+it, which is exactly the division the ``cw-har`` merit applies.
+
+This module *checks* that reasoning with a discrete-event simulation: jobs
+(benchmark type + instruction count) arrive as a Poisson stream, are
+dispatched to per-core-type FIFO queues under a scheduling policy, and are
+served at the IPT the matrix gives for (benchmark, core type).  The
+``exp_queueing`` extension experiment correlates design rankings by merit
+with measured mean turnaround times.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cmp.merit import IptMatrix, preferred_core
+from repro.util.rng import substream
+
+
+@dataclass(frozen=True)
+class JobStream:
+    """Parameters of the synthetic job stream."""
+
+    #: mean job arrivals per nanosecond (suite-wide)
+    arrival_rate: float
+    #: instructions per job (service time = length / IPT)
+    job_length: int = 1_000_000
+    #: number of jobs to simulate
+    jobs: int = 400
+    #: per-benchmark submission weights (uniform when empty)
+    weights: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.job_length <= 0 or self.jobs <= 0:
+            raise ValueError("job_length and jobs must be positive")
+
+
+@dataclass
+class QueueingResult:
+    """Aggregate outcome of one job-stream simulation."""
+
+    design_cores: Tuple[str, ...]
+    policy: str
+    jobs: int
+    makespan_ns: float
+    mean_turnaround_ns: float
+    mean_wait_ns: float
+    mean_service_ns: float
+    #: fraction of wall-clock each core type spent busy (averaged over its
+    #: instances)
+    utilization: Dict[str, float]
+    #: jobs dispatched to each core type
+    dispatched: Dict[str, int]
+
+    @property
+    def throughput_jobs_per_us(self) -> float:
+        return self.jobs / (self.makespan_ns / 1000.0)
+
+
+class CmpQueueSimulator:
+    """Discrete-event simulation of jobs on a constrained CMP.
+
+    Parameters
+    ----------
+    matrix:
+        The benchmark-on-core IPT matrix (instructions per ns).
+    core_types:
+        The design's core types.
+    cores_per_type:
+        Instances of each type (the paper allows multiple instances).
+    policy:
+        ``"preferred"`` — queue at the core type the job prefers even if
+        busy (the Section-6.1 assumption behind cw-har);
+        ``"best-available"`` — take the best *idle* core now, else join the
+        shortest queue weighted by the job's IPT there;
+        ``"contest-when-idle"`` — the Section-7.1 need-to-have mode: if one
+        instance of *every* core type is idle when the job arrives, all of
+        them gang up on it (contested service at ``contest_ipt[bench]``);
+        otherwise fall back to best-available.  Requires ``contest_ipt``.
+    contest_ipt:
+        Per-benchmark contested IPT of the design's core types (measured by
+        :class:`repro.core.system.ContestingSystem`); only used by the
+        ``contest-when-idle`` policy.
+    """
+
+    def __init__(
+        self,
+        matrix: IptMatrix,
+        core_types: Sequence[str],
+        cores_per_type: int = 1,
+        policy: str = "preferred",
+        contest_ipt: Optional[Mapping[str, float]] = None,
+    ):
+        if not core_types:
+            raise ValueError("need at least one core type")
+        if cores_per_type < 1:
+            raise ValueError("cores_per_type must be >= 1")
+        if policy not in ("preferred", "best-available", "contest-when-idle"):
+            raise ValueError(f"unknown policy {policy!r}")
+        if policy == "contest-when-idle" and not contest_ipt:
+            raise ValueError("contest-when-idle requires contest_ipt")
+        self.matrix = matrix
+        self.core_types = tuple(core_types)
+        self.cores_per_type = cores_per_type
+        self.policy = policy
+        self.contest_ipt = dict(contest_ipt or {})
+        #: jobs served in contested (ganged) mode
+        self.contested_jobs = 0
+
+    def _service_ns(self, bench: str, core: str, length: int) -> float:
+        return length / self.matrix[bench][core]
+
+    def _choose_core(
+        self, bench: str, free_at: Dict[str, List[float]], now: float,
+        length: int,
+    ) -> str:
+        if self.policy == "preferred":
+            return preferred_core(self.matrix, bench, self.core_types)
+        # best-available (also the contest-when-idle fallback):
+        # best-available: minimise this job's completion time right now
+        best = None
+        for core in self.core_types:
+            start = max(now, min(free_at[core]))
+            finish = start + self._service_ns(bench, core, length)
+            if best is None or finish < best[0]:
+                best = (finish, core)
+        return best[1]
+
+    def run(self, stream: JobStream, seed: int = 0) -> QueueingResult:
+        """Simulate the stream; returns aggregate metrics."""
+        rng = substream(seed, "queueing")  # policy-independent: the
+        # same seed yields the same arrival stream under either policy
+        benches = sorted(self.matrix)
+        weights = [stream.weights.get(b, 1.0) for b in benches]
+
+        # arrival times (Poisson) and benchmark types
+        arrivals: List[Tuple[float, str]] = []
+        t = 0.0
+        for _ in range(stream.jobs):
+            t += rng.expovariate(stream.arrival_rate)
+            bench = rng.choices(benches, weights=weights, k=1)[0]
+            arrivals.append((t, bench))
+
+        # earliest-free-time per core instance, grouped by type
+        free_at: Dict[str, List[float]] = {
+            core: [0.0] * self.cores_per_type for core in self.core_types
+        }
+        busy_ns: Dict[str, float] = {core: 0.0 for core in self.core_types}
+        dispatched: Dict[str, int] = {core: 0 for core in self.core_types}
+
+        turnaround = 0.0
+        wait = 0.0
+        service_total = 0.0
+        makespan = 0.0
+
+        for arrive, bench in arrivals:
+            if self.policy == "contest-when-idle":
+                idle_everywhere = all(
+                    min(instances) <= arrive
+                    for instances in free_at.values()
+                )
+                if idle_everywhere and bench in self.contest_ipt:
+                    # gang one instance of every type on this job
+                    service = stream.job_length / self.contest_ipt[bench]
+                    finish = arrive + service
+                    for core_name, instances in free_at.items():
+                        index = min(
+                            range(len(instances)), key=instances.__getitem__
+                        )
+                        instances[index] = finish
+                        busy_ns[core_name] += service
+                    dispatched[
+                        preferred_core(self.matrix, bench, self.core_types)
+                    ] += 1
+                    self.contested_jobs += 1
+                    turnaround += finish - arrive
+                    service_total += service
+                    if finish > makespan:
+                        makespan = finish
+                    continue
+            core = self._choose_core(bench, free_at, arrive, stream.job_length)
+            instances = free_at[core]
+            index = min(range(len(instances)), key=instances.__getitem__)
+            start = max(arrive, instances[index])
+            service = self._service_ns(bench, core, stream.job_length)
+            finish = start + service
+            instances[index] = finish
+            busy_ns[core] += service
+            dispatched[core] += 1
+            turnaround += finish - arrive
+            wait += start - arrive
+            service_total += service
+            if finish > makespan:
+                makespan = finish
+
+        jobs = stream.jobs
+        return QueueingResult(
+            design_cores=self.core_types,
+            policy=self.policy,
+            jobs=jobs,
+            makespan_ns=makespan,
+            mean_turnaround_ns=turnaround / jobs,
+            mean_wait_ns=wait / jobs,
+            mean_service_ns=service_total / jobs,
+            utilization={
+                core: busy_ns[core] / (makespan * self.cores_per_type)
+                for core in self.core_types
+            },
+            dispatched=dispatched,
+        )
+
+
+def compare_designs_under_load(
+    matrix: IptMatrix,
+    designs: Mapping[str, Sequence[str]],
+    stream: JobStream,
+    cores_per_type: int = 1,
+    policy: str = "preferred",
+    seed: int = 0,
+) -> Dict[str, QueueingResult]:
+    """Simulate the same job stream on several designs."""
+    return {
+        name: CmpQueueSimulator(
+            matrix, cores, cores_per_type=cores_per_type, policy=policy
+        ).run(stream, seed=seed)
+        for name, cores in designs.items()
+    }

@@ -1,0 +1,34 @@
+"""Architectural contesting — the paper's primary contribution.
+
+N cores concurrently execute the same trace.  Each core broadcasts its
+retired-instruction results on its own global result bus (GRB); every other
+core receives them through a synchronizing result FIFO.  A core that trails
+pairs popped results with its fetched instructions and completes them early
+(branches in fetch, register values in rename), so it can never fall far
+behind; when workload behaviour shifts, the core whose microarchitecture
+suits the new phase simply stops finding usable results in its FIFOs and
+takes the lead by executing normally.  Leadership is emergent — there is no
+phase detector and no explicit leader election (Section 4 of the paper).
+
+Public surface:
+
+* :class:`ContestingSystem` — build from a list of core configurations and a
+  trace, call :meth:`~ContestingSystem.run`.
+* :class:`ContestResult` — timing, per-core statistics, lead changes,
+  saturated-lagger events.
+* :class:`SyncStoreQueue` — the SRT-style synchronizing store queue that
+  merges each store into the shared level once every active core has
+  performed it privately.
+* :func:`run_contest` — convenience wrapper for the common 2-way case.
+"""
+
+from repro.core.storequeue import SyncStoreQueue
+from repro.core.system import ContestingSystem, ContestResult, ResultFifo, run_contest
+
+__all__ = [
+    "ContestingSystem",
+    "ContestResult",
+    "ResultFifo",
+    "SyncStoreQueue",
+    "run_contest",
+]

@@ -1,0 +1,104 @@
+"""The synchronizing store queue (Section 4.2).
+
+Stores are performed redundantly in every core's private (write-through)
+cache levels but stop short of the shared level.  Like SRT's store queue,
+the synchronizing store queue buffers each store until *every* active
+contesting core has performed it privately, then performs one merged
+instance to the shared level.
+
+Because all cores retire the same stores in the same order, a store is
+identified by its per-core ordinal (how many stores that core has committed
+so far); ordinals agree across cores by construction.  Queue occupancy is
+the spread between the most- and least-advanced active cores, and a core may
+not commit a store that would push the spread past the capacity — this is
+the only backpressure contesting exerts on a leading core.
+"""
+
+from typing import Dict, List
+
+
+class SyncStoreQueue:
+    """Tracks per-core store progress and merges completed stores."""
+
+    def __init__(self, core_ids: List[int], capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("store queue capacity must be >= 1")
+        if not core_ids:
+            raise ValueError("at least one participating core is required")
+        self.capacity = capacity
+        self._performed: Dict[int, int] = {cid: 0 for cid in core_ids}
+        self._active: Dict[int, bool] = {cid: True for cid in core_ids}
+        #: number of merged store instances performed to the shared level
+        self.merged = 0
+        #: number of commit attempts rejected because the queue was full
+        self.stalls = 0
+
+    # ------------------------------------------------------------------
+
+    def _active_counts(self) -> List[int]:
+        return [
+            count
+            for cid, count in self._performed.items()
+            if self._active[cid]
+        ]
+
+    @property
+    def occupancy(self) -> int:
+        """Stores buffered: performed by >=1 active core but not by all."""
+        counts = self._active_counts()
+        return max(counts) - min(counts) if counts else 0
+
+    def can_commit(self, core_id: int) -> bool:
+        """Whether ``core_id`` may commit its next store without overflowing
+        the queue.  The least-advanced core can always commit."""
+        if not self._active.get(core_id, False):
+            return True  # non-participants bypass the queue entirely
+        counts = self._active_counts()
+        allowed = self._performed[core_id] - min(counts) < self.capacity
+        if not allowed:
+            self.stalls += 1
+        return allowed
+
+    def perform(self, core_id: int) -> None:
+        """Record that ``core_id`` privately performed its next store; merge
+        to the shared level once all active cores have performed it."""
+        if not self._active.get(core_id, False):
+            return
+        before = min(self._active_counts())
+        self._performed[core_id] += 1
+        after = min(self._active_counts())
+        if after > before:
+            self.merged += after - before
+
+    def deactivate(self, core_id: int) -> None:
+        """Remove a core (saturated lagger / halted) from participation.
+
+        Stores the remaining cores have all performed are merged immediately.
+        """
+        if not self._active.get(core_id, False):
+            return
+        before = min(self._active_counts())
+        self._active[core_id] = False
+        counts = self._active_counts()
+        if counts:
+            after = min(counts)
+            if after > before:
+                self.merged += after - before
+
+    def is_active(self, core_id: int) -> bool:
+        """Whether the core still participates in store merging."""
+        return self._active.get(core_id, False)
+
+    def set_progress(self, core_id: int, count: int) -> None:
+        """Jump a core's store progress (used when a lagger is re-forked:
+        the copied architectural state already reflects the skipped stores,
+        so buffered stores waiting only on this core may merge)."""
+        if count < self._performed.get(core_id, 0):
+            raise ValueError("store progress cannot move backwards")
+        if not self._active.get(core_id, False):
+            return
+        before = min(self._active_counts())
+        self._performed[core_id] = count
+        after = min(self._active_counts())
+        if after > before:
+            self.merged += after - before

@@ -1,0 +1,434 @@
+"""The contesting system: GRBs, result FIFOs, and the co-simulation driver.
+
+Implements Section 4 of the paper:
+
+* **Global result buses** (4.1.1): every core broadcasts each retired
+  instruction on its own GRB; each other core receives it after the
+  configurable core-to-core propagation latency through a synchronizing
+  FIFO (the GALS-style synchronizing queue appears here as the arrival
+  timestamp being rounded up to the receiver's next clock edge).
+* **Pop counters and the fetch counter** (4.1.2): a FIFO's ``next_seq`` *is*
+  its pop counter; the receiving core's ``fetch_index`` is the fetch
+  counter.  Scenario 1 (core not trailing): arrived results older than the
+  fetch counter are popped and discarded — except branches, which are
+  checked against unresolved in-flight branches and can resolve a
+  misprediction early (the Figure-5 corner case, which flips the core into
+  Scenario 2 because fetch resumes exactly at the popped seq + 1).
+  Scenario 2 (core trailing): the FIFO head matches the next fetch; the
+  result is popped at fetch and paired with the instruction.
+* **Injecting results** (4.1.3): a paired branch completes in fetch, a
+  paired value-producer completes in rename (handled inside
+  :class:`repro.uarch.core.Core`).
+* **Lagging distance / saturated laggers** (4.1.4): a FIFO whose occupancy
+  exceeds ``max_lag`` marks its receiver as a saturated lagger; contesting
+  is disabled for that core (it is halted) and the event recorded.
+* **Stores** (4.2): the :class:`SyncStoreQueue`.
+* **Exceptions** (4.3): the semaphore-style redundant-thread-aware handler —
+  every active core stalls at the syscall's commit until all active cores
+  have reached it, then each pays the handler cost.
+
+Time is integer picoseconds.  The driver always steps the core whose current
+edge time is smallest, which reproduces the paper's 0.01ns-handshake
+round-robin co-simulation without simulating idle base units.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import OpClass
+from repro.isa.trace import Trace
+from repro.core.storequeue import SyncStoreQueue
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import Core, RunStats
+from repro.util.units import ns_to_ps
+
+_OP_BRANCH = int(OpClass.BRANCH)
+
+
+class ResultFifo:
+    """One incoming result FIFO: entries from a single sender's GRB.
+
+    Entries are arrival timestamps (ps); sequence numbers are implicit
+    because the sender retires in order and the bus preserves order, so the
+    entry at the head always carries the result of instruction ``next_seq``.
+    ``next_seq`` doubles as the paper's pop counter.
+    """
+
+    __slots__ = ("sender_id", "next_seq", "arrivals", "popped_late", "popped_paired")
+
+    def __init__(self, sender_id: int):
+        self.sender_id = sender_id
+        self.next_seq = 0
+        self.arrivals = deque()
+        self.popped_late = 0
+        self.popped_paired = 0
+
+    def push(self, arrival_ps: int) -> None:
+        """Enqueue the next retired result's arrival timestamp."""
+        self.arrivals.append(arrival_ps)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.arrivals)
+
+
+@dataclass
+class ContestResult:
+    """Outcome of one contested execution."""
+
+    config_names: List[str]
+    trace_name: str
+    instructions: int
+    time_ps: int
+    winner: str                      # core that retired the last instruction
+    lead_changes: int
+    saturated: List[str]             # cores disabled as saturated laggers
+    store_stalls: int
+    merged_stores: int
+    per_core: Dict[str, RunStats] = field(default_factory=dict)
+
+    @property
+    def ipt(self) -> float:
+        """Instructions per nanosecond of the contested execution."""
+        return self.instructions * 1000.0 / self.time_ps
+
+
+class ContestingSystem:
+    """N-way architectural contesting over a single trace.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`CoreConfig` per participating core (the paper evaluates
+        N=2; any N >= 2 is supported).
+    trace:
+        The dynamic instruction trace all cores execute.
+    grb_latency_ns:
+        Core-to-core propagation latency of the global result buses
+        (Section 5.2 uses 1 ns; Figure 8 sweeps it).
+    max_lag:
+        Maximum lagging distance in instructions.  ``0`` (default) derives
+        ``max(2048, 4 * grb_latency_ns * max peak IPS)`` — the pop/fetch
+        counters only need to represent the maximum separation allowed
+        between leader and lagger (Section 4.1.4); the default rides out
+        transient phase-rate mismatches while still bounding the hardware
+        cost of the counters and FIFOs.  A receiver whose FIFO occupancy
+        exceeds this *continuously* for ``sat_grace_ns`` is a saturated
+        lagger (one that cannot keep up with the leader's retirement rate,
+        as opposed to one riding out a transient stall) and is removed from
+        contesting, the paper's remedy.
+    sat_grace_ns:
+        How long the lagging distance must be continuously exceeded before
+        the lagger is declared saturated.
+    store_queue_capacity:
+        Capacity of the synchronizing store queue (Section 4.2).
+    prewarm:
+        Warm each core's caches/predictor with one functional pass (see
+        :meth:`repro.uarch.core.Core._prewarm`).
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[CoreConfig],
+        trace: Trace,
+        grb_latency_ns: float = 1.0,
+        max_lag: int = 0,
+        store_queue_capacity: int = 512,
+        prewarm: bool = True,
+        sat_grace_ns: float = 400.0,
+        early_branch_resolution: bool = True,
+        lagger_policy: str = "disable",
+        resync_penalty_cycles: int = 100,
+        shared_l3=None,
+        shared_l3_latency_ns: float = 4.0,
+    ):
+        if len(configs) < 2:
+            raise ValueError("contesting requires at least two cores")
+        if max_lag < 0:
+            raise ValueError("max_lag must be >= 0 (0 derives a default)")
+        if lagger_policy not in ("disable", "resync"):
+            raise ValueError(
+                f"unknown lagger_policy {lagger_policy!r}; "
+                "expected 'disable' or 'resync'"
+            )
+        self.trace = trace
+        self.latency_ps = ns_to_ps(grb_latency_ns)
+        #: Figure-5 corner case on/off (ablation hook; the paper's design
+        #: always has it on)
+        self.early_branch_resolution = early_branch_resolution
+        #: what to do with a saturated lagger: "disable" (the paper's
+        #: remedy: remove it from contesting) or "resync" (extension:
+        #: re-fork it at the leader's retirement point, as the paper's
+        #: exception handling machinery re-forks threads)
+        self.lagger_policy = lagger_policy
+        self.resync_penalty_cycles = resync_penalty_cycles
+        self.resyncs = 0
+        peak_ips = max(cfg.peak_ips for cfg in configs)
+        self.max_lag = max_lag or max(2048, int(4 * grb_latency_ns * peak_ips))
+        self._grace_ps = ns_to_ps(sat_grace_ns)
+        self._over_since: Dict[int, Optional[int]] = {
+            i: None for i in range(len(configs))
+        }
+
+        #: optional shared cache level beyond the private L2s (Section
+        #: 4.2's "shared cache level"); merged stores are performed to it
+        #: and every core's L2 misses probe it with a per-clock-domain
+        #: cycle latency derived from ``shared_l3_latency_ns``
+        self.shared_l3 = None
+        if shared_l3 is not None:
+            from repro.uarch.cache import Cache
+
+            self.shared_l3 = Cache(shared_l3)
+        self.cores: List[Core] = [
+            Core(
+                cfg, trace, core_id=i, contest=self, prewarm=prewarm,
+                shared_cache=self.shared_l3,
+                shared_latency=(
+                    max(1, round(shared_l3_latency_ns / cfg.clock_period_ns))
+                    if self.shared_l3 is not None
+                    else 0
+                ),
+            )
+            for i, cfg in enumerate(configs)
+        ]
+        self._active: List[Core] = list(self.cores)
+        #: fifos[receiver_id] -> list of ResultFifo (one per other core)
+        self.fifos: Dict[int, List[ResultFifo]] = {
+            c.core_id: [
+                ResultFifo(o.core_id) for o in self.cores if o is not c
+            ]
+            for c in self.cores
+        }
+        #: fifo_index[receiver_id][sender_id] -> ResultFifo (fast GRB sink lookup)
+        self._fifo_index: Dict[int, Dict[int, ResultFifo]] = {
+            rid: {f.sender_id: f for f in flist}
+            for rid, flist in self.fifos.items()
+        }
+        self.store_queue = SyncStoreQueue(
+            [c.core_id for c in self.cores], store_queue_capacity
+        )
+
+        self._instrs = trace.instructions
+        # prefix store counts (stores in trace[:k]) for re-fork accounting,
+        # and the ordered store addresses for merged-store write-through to
+        # the shared level
+        self._store_prefix = [0] * (len(trace) + 1)
+        self._store_addr_list: List[int] = []
+        acc = 0
+        for k, instr in enumerate(trace.instructions):
+            if instr.op == 4:  # OP_STORE
+                acc += 1
+                self._store_addr_list.append(instr.addr)
+            self._store_prefix[k + 1] = acc
+        self._merged_written = 0
+        self._leader: Core = self.cores[0]
+        self.lead_changes = 0
+        self.saturated: List[str] = []
+
+    # ------------------------------------------------------------------
+    # adapter interface (called from Core)
+    # ------------------------------------------------------------------
+
+    def drain(self, core: Core, now_ps: int) -> None:
+        """Scenario-1 processing at the start of a receiver cycle.
+
+        Pops every *late* arrived result (seq older than the core's fetch
+        counter) and discards it, except that branch results are offered for
+        early misprediction resolution (Figure 5).  Also detects saturated
+        laggers.
+        """
+        fetch_index = core.fetch_index
+        instrs = self._instrs
+        worst = 0
+        for fifo in self.fifos[core.core_id]:
+            arrivals = fifo.arrivals
+            while (
+                arrivals
+                and arrivals[0] <= now_ps
+                and fifo.next_seq < fetch_index
+            ):
+                arrivals.popleft()
+                seq = fifo.next_seq
+                fifo.next_seq = seq + 1
+                fifo.popped_late += 1
+                if (
+                    self.early_branch_resolution
+                    and instrs[seq].op == _OP_BRANCH
+                ):
+                    core.early_resolve_branch(seq)
+            if fifo.occupancy > worst:
+                worst = fifo.occupancy
+        if worst > self.max_lag:
+            since = self._over_since[core.core_id]
+            if since is None:
+                self._over_since[core.core_id] = now_ps
+            elif now_ps - since > self._grace_ps:
+                self._saturate(core)
+        else:
+            self._over_since[core.core_id] = None
+
+    def pop_for_fetch(self, core: Core, seq: int, now_ps: int) -> bool:
+        """Scenario-2 check at fetch: pop a result pairing with ``seq``.
+
+        Returns True when some FIFO's head holds the result of exactly the
+        instruction being fetched and it has already arrived — the core is
+        trailing and the instruction completes early via injection.
+        """
+        for fifo in self.fifos[core.core_id]:
+            if (
+                fifo.next_seq == seq
+                and fifo.arrivals
+                and fifo.arrivals[0] <= now_ps
+            ):
+                fifo.arrivals.popleft()
+                fifo.next_seq = seq + 1
+                fifo.popped_paired += 1
+                return True
+        return False
+
+    def on_retire(self, core: Core, seq: int, now_ps: int) -> None:
+        """Broadcast a retired instruction on ``core``'s GRB."""
+        arrival = now_ps + self.latency_ps
+        sender = core.core_id
+        for receiver in self._active:
+            if receiver is core or not receiver.contesting_enabled:
+                continue
+            self._fifo_index[receiver.core_id][sender].push(arrival)
+        # Emergent-leadership bookkeeping (diagnostics only).
+        if core is not self._leader and core.commit_count > self._leader.commit_count:
+            self._leader = core
+            self.lead_changes += 1
+
+    def store_commit_ok(self, core: Core, seq: int) -> bool:
+        """Whether the synchronizing store queue admits the next store."""
+        return self.store_queue.can_commit(core.core_id)
+
+    def store_performed(self, core: Core, seq: int) -> None:
+        """Record a privately performed store; merge when all cores have."""
+        self.store_queue.perform(core.core_id)
+        self._write_merged_to_shared()
+
+    def _write_merged_to_shared(self) -> None:
+        """Perform newly merged stores to the shared level (Section 4.2:
+        the single merged instance is performed to the shared cache)."""
+        if self.shared_l3 is None:
+            return
+        while self._merged_written < self.store_queue.merged:
+            self.shared_l3.lookup(self._store_addr_list[self._merged_written])
+            self._merged_written += 1
+
+    def syscall_ready(self, core: Core, seq: int) -> bool:
+        """Semaphore check of the parallelized exception handler (4.3):
+        the handler may run once every active core has reached the
+        exception."""
+        return all(c.commit_count >= seq for c in self._active)
+
+    # ------------------------------------------------------------------
+
+    def _saturate(self, core: Core) -> None:
+        """Handle a saturated lagger (Section 4.1.4).
+
+        Under the paper's policy the lagger is disabled; under the
+        "resync" extension it is re-forked at the leader's retirement
+        point and keeps contesting.
+        """
+        if self.lagger_policy == "resync":
+            self._resync(core)
+            return
+        core.disable_contesting()
+        core.halted = True
+        self.saturated.append(core.config.name)
+        self._active = [c for c in self._active if c is not core]
+        self.store_queue.deactivate(core.core_id)
+        self._write_merged_to_shared()
+        # Drop its queued results; it will not consume them.
+        for fifo in self.fifos[core.core_id]:
+            fifo.arrivals.clear()
+
+    def _resync(self, core: Core) -> None:
+        """Re-fork a saturated lagger at the most advanced retire point."""
+        target = max(
+            (c.commit_count for c in self._active if c is not core),
+            default=core.commit_count,
+        )
+        if target <= core.commit_count:
+            return
+        core.resync(target, penalty_cycles=self.resync_penalty_cycles)
+        for fifo in self.fifos[core.core_id]:
+            fifo.arrivals.clear()
+            if fifo.next_seq < target:
+                fifo.next_seq = target
+        self.store_queue.set_progress(
+            core.core_id, self._store_prefix[target]
+        )
+        self._write_merged_to_shared()
+        self._over_since[core.core_id] = None
+        self.resyncs += 1
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 0) -> ContestResult:
+        """Co-simulate until the first core retires the last instruction."""
+        trace_len = len(self.trace)
+        limit = max_steps or (
+            trace_len * (max(c.config.mem_latency for c in self.cores) + 64)
+            * len(self.cores)
+            + 1_000_000
+        )
+        steps = 0
+        active = self._active
+        winner: Optional[Core] = None
+        while winner is None:
+            # Step the core whose current clock edge is earliest.
+            core = active[0]
+            t = core.time_ps
+            for other in active[1:]:
+                if other.time_ps < t:
+                    core = other
+                    t = other.time_ps
+            core.step()
+            if core.done:
+                winner = core
+                break
+            active = self._active  # may shrink on saturation
+            if not active:
+                raise RuntimeError("all cores saturated; no progress possible")
+            steps += 1
+            if steps > limit:
+                raise RuntimeError(
+                    "contesting co-simulation exceeded its step budget: "
+                    "likely deadlock"
+                )
+        for c in self.cores:
+            c.stats.l1_accesses = c.hierarchy.l1.accesses
+            c.stats.l1_misses = c.hierarchy.l1.misses
+            c.stats.l2_misses = c.hierarchy.l2.misses
+        return ContestResult(
+            config_names=[c.config.name for c in self.cores],
+            trace_name=self.trace.name,
+            instructions=trace_len,
+            time_ps=winner.time_ps,
+            winner=winner.config.name,
+            lead_changes=self.lead_changes,
+            saturated=list(self.saturated),
+            store_stalls=self.store_queue.stalls,
+            merged_stores=self.store_queue.merged,
+            per_core={
+                f"{c.core_id}:{c.config.name}": c.stats for c in self.cores
+            },
+        )
+
+
+def run_contest(
+    config_a: CoreConfig,
+    config_b: CoreConfig,
+    trace: Trace,
+    grb_latency_ns: float = 1.0,
+    **kwargs,
+) -> ContestResult:
+    """Run 2-way contesting (the configuration the paper evaluates)."""
+    system = ContestingSystem(
+        [config_a, config_b], trace, grb_latency_ns=grb_latency_ns, **kwargs
+    )
+    return system.run()

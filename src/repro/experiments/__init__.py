@@ -1,0 +1,27 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment is a function taking an :class:`ExperimentContext` (which
+fixes the trace scale, seed and GRB latency, and caches simulation results
+shared between experiments) and returning a result object with a
+``render()`` method that prints the same rows/series the paper reports.
+
+| Module       | Paper artefact                                              |
+|--------------|-------------------------------------------------------------|
+| ``fig01``    | Figure 1 — oracle switching speedup vs. granularity         |
+| ``fig06``    | Figure 6 — 2-way contesting vs. own customised core         |
+| ``fig07``    | Figure 7 — isolating L2-cache heterogeneity                 |
+| ``fig08``    | Figure 8 — speedup vs. core-to-core latency                 |
+| ``table1``   | Table 1 — five CMP designs and their harmonic-mean IPT      |
+| ``fig09``    | Figure 9 — per-benchmark IPT on the five designs            |
+| ``fig10``    | Figure 10 — HOM vs HET-A (no contesting / contesting)       |
+| ``fig11``    | Figure 11 — HOM vs HET-B (no contesting / contesting)       |
+| ``fig12``    | Figure 12 — HOM vs HET-C (no contesting / contesting)       |
+| ``fig13``    | Figure 13 — 2-type contesting vs 3 core types vs HET-ALL    |
+| ``appendix_a``| Appendix A — the 11x11 benchmark-on-core IPT matrix        |
+
+Run everything: ``python -m repro.experiments`` (see ``runner.py``).
+"""
+
+from repro.experiments.common import ExperimentContext, SCALES
+
+__all__ = ["ExperimentContext", "SCALES"]

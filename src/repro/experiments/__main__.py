@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` — regenerate the paper's tables/figures."""
+
+from repro.experiments.runner import main
+
+raise SystemExit(main())

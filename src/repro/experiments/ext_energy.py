@@ -1,0 +1,67 @@
+"""Extension experiment: the energy cost of contesting.
+
+Section 1 positions contesting as a need-to-have mode trading power for
+single-thread performance.  For each benchmark's best contesting pair this
+experiment reports the energy ratio (contested vs the benchmark's own core
+alone), the speedup, and the resulting energy-delay-product ratio — the
+quantitative form of the paper's "how performance and power are balanced"
+robustness claim.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.fig06 import Fig06Result
+from repro.experiments.fig06 import run as run_fig06
+from repro.power.model import contest_energy, standalone_energy
+from repro.uarch.config import core_config
+from repro.util.stats import arithmetic_mean
+from repro.util.tables import format_table
+
+
+@dataclass
+class ExtEnergyResult:
+    #: per benchmark: (speedup %, energy ratio, EDP ratio)
+    rows: Dict[str, Tuple[float, float, float]]
+
+    def render(self) -> str:
+        """Per-benchmark energy/EDP ratios with means."""
+        table = format_table(
+            ["bench", "speedup %", "energy ratio", "EDP ratio"],
+            [[b, s, e, d] for b, (s, e, d) in self.rows.items()],
+            title="Extension: energy cost of 2-way contesting (vs own core alone)",
+        )
+        mean_e = arithmetic_mean(v[1] for v in self.rows.values())
+        mean_d = arithmetic_mean(v[2] for v in self.rows.values())
+        return (
+            f"{table}\n"
+            f"mean energy ratio: {mean_e:.2f}x   mean EDP ratio: {mean_d:.2f}x\n"
+            "(redundant execution roughly doubles energy; the speedup claws "
+            "back part of the delay term)"
+        )
+
+
+def run(ctx: ExperimentContext, fig06: Fig06Result = None) -> ExtEnergyResult:
+    """Account the energy of each benchmark's best contesting pair."""
+    fig06 = fig06 or run_fig06(ctx)
+    rows = {}
+    for bench, (pair, _, _) in fig06.rows.items():
+        own_cfg = core_config(bench)
+        alone = ctx.standalone(bench, own_cfg)
+        contest = ctx.contest(
+            bench, [core_config(pair[0]), core_config(pair[1])]
+        )
+        e_alone = standalone_energy(alone, own_cfg)
+        e_contest = contest_energy(
+            contest,
+            {pair[0]: core_config(pair[0]), pair[1]: core_config(pair[1])},
+            grb_latency_ns=ctx.grb_latency_ns,
+        )
+        speedup = (contest.ipt / alone.ipt - 1.0) * 100.0
+        energy_ratio = e_contest.total_nj / e_alone.total_nj
+        edp_ratio = e_contest.energy_delay(contest.time_ps / 1000.0) / (
+            e_alone.energy_delay(alone.time_ps / 1000.0)
+        )
+        rows[bench] = (speedup, energy_ratio, edp_ratio)
+    return ExtEnergyResult(rows=rows)

@@ -1,0 +1,69 @@
+"""Extension experiment: N-way contesting.
+
+The paper's implementation section is written for N-way contesting but the
+evaluation stops at 2-way.  This extension contests *three* core types
+(HET-D's selection) and compares against 2-way contesting of HET-C's types
+and the best single core — quantifying whether a third GRB buys anything
+once two well-chosen types are already contesting.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table1 import run as run_table1
+from repro.uarch.config import core_config
+from repro.util.stats import arithmetic_mean
+from repro.util.tables import format_table
+
+
+@dataclass
+class ExtNwayResult:
+    two_way_types: Tuple[str, ...]
+    three_way_types: Tuple[str, ...]
+    #: per benchmark: (best single IPT, 2-way contest IPT, 3-way contest IPT)
+    rows: Dict[str, Tuple[float, float, float]]
+
+    def averages(self) -> Tuple[float, float, float]:
+        """(best single, 2-way, 3-way) average IPTs."""
+        return (
+            arithmetic_mean(v[0] for v in self.rows.values()),
+            arithmetic_mean(v[1] for v in self.rows.values()),
+            arithmetic_mean(v[2] for v in self.rows.values()),
+        )
+
+    def render(self) -> str:
+        """The 2-way vs 3-way comparison table."""
+        table = format_table(
+            ["bench", "best single", "2-way contest", "3-way contest"],
+            [[b, s, two, three] for b, (s, two, three) in self.rows.items()],
+            title=(
+                f"Extension: 2-way ({' & '.join(self.two_way_types)}) vs "
+                f"3-way ({' & '.join(self.three_way_types)}) contesting"
+            ),
+        )
+        s, two, three = self.averages()
+        return (
+            f"{table}\n"
+            f"averages: single {s:.3f} | 2-way {two:.3f} | 3-way {three:.3f}"
+        )
+
+
+def run(ctx: ExperimentContext, table1: Table1Result = None) -> ExtNwayResult:
+    """Contest HET-C's pair and HET-D's trio on every benchmark."""
+    table1 = table1 or run_table1(ctx)
+    matrix = table1.matrix
+    two_types = table1.designs["HET-C"].core_types
+    three_types = table1.designs["HET-D"].core_types
+    two_cfgs = [core_config(n) for n in two_types]
+    three_cfgs = [core_config(n) for n in three_types]
+    rows = {}
+    for bench in ctx.benchmarks:
+        best_single = max(matrix[bench].values())
+        two = ctx.contest(bench, two_cfgs).ipt
+        three = ctx.contest(bench, three_cfgs).ipt
+        rows[bench] = (best_single, two, three)
+    return ExtNwayResult(
+        two_way_types=two_types, three_way_types=three_types, rows=rows
+    )

@@ -1,0 +1,109 @@
+"""Extension experiment: validate the figures of merit under load.
+
+Not a paper figure — this checks the *reasoning* behind Section 6.1 with
+the discrete-event job-stream simulator: rank the candidate two-type
+designs by each figure of merit, simulate the same Poisson job stream on
+them under the preferred-core scheduling policy, and report how measured
+mean turnaround orders them at light and heavy load.
+
+Expected outcome (and the paper's argument): ``har`` predicts light-load
+behaviour (no queueing, pure service time) while ``cw-har`` is the better
+predictor under heavy load, where queue imbalance dominates.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cmp.designer import best_combination
+from repro.cmp.merit import design_merit
+from repro.cmp.queueing import CmpQueueSimulator, JobStream
+from repro.experiments.common import ExperimentContext
+from repro.util.tables import format_table
+
+
+def _rank_agreement(
+    merit_scores: Dict[Tuple[str, ...], float],
+    turnarounds: Dict[Tuple[str, ...], float],
+) -> float:
+    """Fraction of design pairs ordered identically by merit (higher =
+    better) and by measured turnaround (lower = better)."""
+    designs = list(merit_scores)
+    agree = 0
+    total = 0
+    for i in range(len(designs)):
+        for j in range(i + 1, len(designs)):
+            a, b = designs[i], designs[j]
+            if merit_scores[a] == merit_scores[b]:
+                continue
+            total += 1
+            merit_says = merit_scores[a] > merit_scores[b]
+            measured_says = turnarounds[a] < turnarounds[b]
+            if merit_says == measured_says:
+                agree += 1
+    return agree / total if total else 1.0
+
+
+@dataclass
+class ExtQueueingResult:
+    #: (merit, load) -> rank agreement between merit and measured turnaround
+    agreement: Dict[Tuple[str, str], float]
+    #: per design: (light turnaround us, heavy turnaround us)
+    turnarounds: Dict[str, Tuple[float, float]]
+
+    def render(self) -> str:
+        """Turnaround table plus merit-agreement lines."""
+        rows: List[List[object]] = [
+            [k, light / 1000.0, heavy / 1000.0]
+            for k, (light, heavy) in self.turnarounds.items()
+        ]
+        table = format_table(
+            ["design", "light-load turnaround (us)", "heavy-load (us)"],
+            rows,
+            title="Extension: job-stream simulation of candidate two-type designs",
+        )
+        lines = [table, "merit-vs-measured rank agreement:"]
+        for (merit, load), value in self.agreement.items():
+            lines.append(f"  {merit:7s} @ {load:5s} load: {value:.2f}")
+        return "\n".join(lines)
+
+
+def run(ctx: ExperimentContext, designs_to_test: int = 5) -> ExtQueueingResult:
+    """Simulate job streams on candidate designs; score merit agreement."""
+    matrix = ctx.ipt_matrix()
+
+    # candidate designs: the best two-type combination under each merit,
+    # plus a few fixed contrasts for rank diversity
+    candidates = set()
+    for merit in ("avg", "har", "cw-har"):
+        combo, _ = best_combination(matrix, 2, merit)
+        candidates.add(combo)
+    fixed = [("bzip", "crafty"), ("gcc", "mcf"), ("parser", "twolf")]
+    for pair in fixed:
+        candidates.add(tuple(sorted(pair)))
+        if len(candidates) >= designs_to_test:
+            break
+    designs = sorted(candidates)
+
+    light = JobStream(arrival_rate=1e-6, job_length=100_000, jobs=150)
+    heavy = JobStream(arrival_rate=5e-4, job_length=100_000, jobs=400)
+
+    turnarounds_light = {}
+    turnarounds_heavy = {}
+    for design in designs:
+        sim = CmpQueueSimulator(matrix, design, policy="preferred")
+        turnarounds_light[design] = sim.run(light, seed=7).mean_turnaround_ns
+        turnarounds_heavy[design] = sim.run(heavy, seed=7).mean_turnaround_ns
+
+    agreement = {}
+    for merit in ("avg", "har", "cw-har"):
+        scores = {d: design_merit(matrix, d, merit) for d in designs}
+        agreement[(merit, "light")] = _rank_agreement(scores, turnarounds_light)
+        agreement[(merit, "heavy")] = _rank_agreement(scores, turnarounds_heavy)
+
+    return ExtQueueingResult(
+        agreement=agreement,
+        turnarounds={
+            " & ".join(d): (turnarounds_light[d], turnarounds_heavy[d])
+            for d in designs
+        },
+    )

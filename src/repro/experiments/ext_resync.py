@@ -1,0 +1,73 @@
+"""Extension experiment: saturated-lagger policy comparison.
+
+The paper's remedy for a saturated lagger is to disable its contesting
+mode, which permanently forfeits the lagger's contribution to later code
+regions it would have won.  The "resync" extension re-forks the lagger at
+the leader's retirement point instead (the same machinery Section 4.3 uses
+for exceptions).  This experiment contests a rate-mismatched pair — the
+fastest-peak-rate core against each benchmark's own core — under both
+policies, with a deliberately tight lagging distance so saturation actually
+occurs.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.system import ContestingSystem
+from repro.experiments.common import ExperimentContext
+from repro.uarch.config import APPENDIX_A_CORES, core_config
+from repro.util.stats import arithmetic_mean
+from repro.util.tables import format_table
+
+
+@dataclass
+class ExtResyncResult:
+    partner: str
+    max_lag: int
+    #: per benchmark: (disable-policy IPT, resync-policy IPT, resync count)
+    rows: Dict[str, Tuple[float, float, int]]
+
+    def render(self) -> str:
+        """Disable-vs-resync table with the mean gain."""
+        table = format_table(
+            ["bench", "disable IPT", "resync IPT", "resyncs"],
+            [[b, d, r, n] for b, (d, r, n) in self.rows.items()],
+            title=(
+                f"Extension: saturated-lagger policy, pair (own, {self.partner}), "
+                f"max_lag={self.max_lag}"
+            ),
+        )
+        mean_gain = arithmetic_mean(
+            (r / d - 1) * 100 for d, r, _ in self.rows.values()
+        )
+        return f"{table}\nmean resync-over-disable gain: {mean_gain:+.1f}%"
+
+
+def run(
+    ctx: ExperimentContext,
+    max_lag: int = 256,
+    sat_grace_ns: float = 20.0,
+) -> ExtResyncResult:
+    """Contest each benchmark against the fastest-peak core, both policies."""
+    # the partner with the highest peak retirement rate saturates slower
+    # cores most readily (crafty's 8-wide 0.19ns core in the palette)
+    partner = max(
+        APPENDIX_A_CORES, key=lambda n: APPENDIX_A_CORES[n].peak_ips
+    )
+    rows = {}
+    for bench in ctx.benchmarks:
+        if bench == partner:
+            continue
+        configs = [core_config(bench), core_config(partner)]
+        trace = ctx.trace(bench)
+        disable = ContestingSystem(
+            configs, trace, max_lag=max_lag, sat_grace_ns=sat_grace_ns,
+            lagger_policy="disable",
+        ).run()
+        resync_system = ContestingSystem(
+            configs, trace, max_lag=max_lag, sat_grace_ns=sat_grace_ns,
+            lagger_policy="resync",
+        )
+        resync = resync_system.run()
+        rows[bench] = (disable.ipt, resync.ipt, resync_system.resyncs)
+    return ExtResyncResult(partner=partner, max_lag=max_lag, rows=rows)

@@ -1,0 +1,63 @@
+"""Figure 1 — oracle switching speedup vs. granularity.
+
+Paper result: the largest potential of adjusting the microarchitecture lies
+at granularities under ~a thousand instructions; the average curve shows up
+to ~25% at the finest granularities falling to ~5% near the 1280-instruction
+knee; the best pair of cores is granularity-dependent for some benchmarks
+(perl) and stable for others (bzip); at the coarsest granularity every
+benchmark is best on its own customised configuration (no speedup).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.switching import OracleCurve, oracle_switching_curve
+from repro.experiments.common import ExperimentContext
+from repro.util.stats import arithmetic_mean
+from repro.util.sparkline import sparkline
+from repro.util.tables import format_series
+
+
+@dataclass
+class Fig01Result:
+    curves: Dict[str, OracleCurve]
+
+    def average_curve(self) -> List[float]:
+        """Mean speedup per granularity across benchmarks (truncated to the
+        granularities every curve covers)."""
+        depth = min(len(c.points) for c in self.curves.values())
+        return [
+            arithmetic_mean(c.points[i][2] for c in self.curves.values())
+            for i in range(depth)
+        ]
+
+    def render(self) -> str:
+        """Per-benchmark series, knees and the average curve."""
+        lines = ["Figure 1: oracle pairwise switching speedup (%) vs granularity (instructions)"]
+        for bench, curve in self.curves.items():
+            lines.append(
+                format_series(
+                    f"  {bench:8s}",
+                    curve.granularities(),
+                    curve.speedups(),
+                )
+                + f"   {sparkline(curve.speedups())}"
+            )
+            finest_pair = curve.points[0][1]
+            lines.append(
+                f"           best pair at finest grain: {finest_pair[0]}+{finest_pair[1]};"
+                f" knee at ~{curve.knee_granularity()} instructions"
+            )
+        some = next(iter(self.curves.values()))
+        grans = some.granularities()[: len(self.average_curve())]
+        lines.append(format_series("  average ", grans, self.average_curve()))
+        return "\n".join(lines)
+
+
+def run(ctx: ExperimentContext) -> Fig01Result:
+    """Compute the oracle curve for every benchmark."""
+    curves = {}
+    for bench in ctx.benchmarks:
+        logs = ctx.region_logs(bench)
+        curves[bench] = oracle_switching_curve(bench, logs)
+    return Fig01Result(curves=curves)

@@ -1,0 +1,66 @@
+"""Figure 7 — isolating the contribution of L2-cache heterogeneity.
+
+Methodology (Section 5.2.1): re-run each benchmark's best contesting pair,
+but replace the pair with two copies of one of its cores where one copy gets
+the *other* core's L2 (configuration and access latency).  Both assignments
+are tried; the better trial is the L2-only bar.  The paper finds that for
+most benchmarks only a minor portion of the gain is attributable to L2
+heterogeneity alone (gcc and parser being the exceptions) — the bulk comes
+from heterogeneity in the core microarchitecture.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.fig06 import Fig06Result
+from repro.experiments.fig06 import run as run_fig06
+from repro.uarch.config import core_config
+from repro.util.stats import arithmetic_mean, percent_change
+from repro.util.tables import format_table
+
+
+@dataclass
+class Fig07Result:
+    #: per benchmark: (total contesting speedup %, L2-only speedup %)
+    rows: Dict[str, Tuple[float, float]]
+
+    def l2_fraction(self, bench: str) -> float:
+        """Share of the total gain attributable to L2 heterogeneity."""
+        total, l2_only = self.rows[bench]
+        if total <= 0:
+            return 0.0
+        return max(0.0, min(1.0, l2_only / total))
+
+    def render(self) -> str:
+        """The Figure-7 stacked-bar table."""
+        table = format_table(
+            ["bench", "total speedup %", "L2-only speedup %", "L2 share"],
+            [
+                [b, total, l2, f"{self.l2_fraction(b):.2f}"]
+                for b, (total, l2) in self.rows.items()
+            ],
+            title="Figure 7: contribution of L2-cache heterogeneity to the contesting speedup",
+        )
+        mean_share = arithmetic_mean(
+            self.l2_fraction(b) for b in self.rows
+        )
+        return f"{table}\nmean L2-only share of the gain: {mean_share:.2f}"
+
+
+def run(ctx: ExperimentContext, fig06: Fig06Result = None) -> Fig07Result:
+    """Run the L2-swap isolation experiment for every best pair."""
+    fig06 = fig06 or run_fig06(ctx)
+    rows = {}
+    for bench, (pair, _, own) in fig06.rows.items():
+        total = fig06.speedup(bench)
+        a, b = core_config(pair[0]), core_config(pair[1])
+        best_l2_ipt = 0.0
+        for base, donor in ((a, b), (b, a)):
+            hybrid = base.with_l2(donor)
+            result = ctx.contest(bench, [base, hybrid])
+            if result.ipt > best_l2_ipt:
+                best_l2_ipt = result.ipt
+        l2_only = percent_change(best_l2_ipt, own)
+        rows[bench] = (total, l2_only)
+    return Fig07Result(rows=rows)

@@ -1,0 +1,67 @@
+"""Figure 8 — the effect of core-to-core latency on contesting.
+
+Paper result: average speedup of contesting (best pair per benchmark, over
+the benchmark's own customised core) decreases as the GRB propagation
+latency grows from 1 ns; at 100 ns the average benefit drops to ~6%.
+Sensitivity is benchmark-dependent (bzip degrades <1% from 1->2 ns while
+gzip loses >35%).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.fig06 import Fig06Result
+from repro.experiments.fig06 import run as run_fig06
+from repro.uarch.config import core_config
+from repro.util.stats import arithmetic_mean, percent_change
+from repro.util.sparkline import sparkline
+from repro.util.tables import format_series
+
+#: The sweep points (ns); the paper plots 1 through 100 ns.
+DEFAULT_LATENCIES = (1.0, 2.0, 5.0, 10.0, 50.0, 100.0)
+
+
+@dataclass
+class Fig08Result:
+    latencies_ns: Tuple[float, ...]
+    #: speedups[bench][i] = speedup % over own core at latencies_ns[i]
+    speedups: Dict[str, List[float]]
+
+    def average(self) -> List[float]:
+        """Mean speedup per latency point across benchmarks."""
+        return [
+            arithmetic_mean(v[i] for v in self.speedups.values())
+            for i in range(len(self.latencies_ns))
+        ]
+
+    def render(self) -> str:
+        """Per-benchmark latency series plus the average."""
+        lines = ["Figure 8: contesting speedup (%) vs core-to-core latency (ns)"]
+        for bench, values in self.speedups.items():
+            lines.append(
+                format_series(f"  {bench:8s}", self.latencies_ns, values)
+                + f"   {sparkline(values)}"
+            )
+        lines.append(
+            format_series("  average ", self.latencies_ns, self.average())
+        )
+        return "\n".join(lines)
+
+
+def run(
+    ctx: ExperimentContext,
+    latencies_ns: Sequence[float] = DEFAULT_LATENCIES,
+    fig06: Fig06Result = None,
+) -> Fig08Result:
+    """Sweep the GRB latency for every benchmark's best pair."""
+    fig06 = fig06 or run_fig06(ctx)
+    speedups: Dict[str, List[float]] = {}
+    for bench, (pair, _, own) in fig06.rows.items():
+        configs = [core_config(pair[0]), core_config(pair[1])]
+        row = []
+        for latency in latencies_ns:
+            result = ctx.contest(bench, configs, grb_latency_ns=latency)
+            row.append(percent_change(result.ipt, own))
+        speedups[bench] = row
+    return Fig08Result(latencies_ns=tuple(latencies_ns), speedups=speedups)

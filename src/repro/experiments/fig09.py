@@ -1,0 +1,49 @@
+"""Figure 9 — per-benchmark IPT on the five CMP designs.
+
+Each benchmark runs on the most suitable core type available in each design;
+the figure shows how constraining the set of core types impacts individual
+benchmarks (some drop below HOM on HET designs whose types don't suit them).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table1 import run as run_table1
+from repro.util.tables import format_table
+
+DESIGN_ORDER = ["HET-A", "HET-B", "HET-C", "HOM", "HET-ALL"]
+
+
+@dataclass
+class Fig09Result:
+    table1: Table1Result
+    #: ipt[bench][design] -> IPT on the design's most suitable core
+    ipt: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        """The Figure-9 per-design IPT table."""
+        rows: List[List[object]] = []
+        for bench, per_design in self.ipt.items():
+            rows.append([bench] + [per_design[d] for d in DESIGN_ORDER])
+        return format_table(
+            ["bench"] + DESIGN_ORDER,
+            rows,
+            title="Figure 9: IPT per benchmark on the most suitable core of each CMP design",
+        )
+
+
+def run(ctx: ExperimentContext, table1: Table1Result = None) -> Fig09Result:
+    """Look up each benchmark's best-available IPT per design."""
+    table1 = table1 or run_table1(ctx)
+    matrix = table1.matrix
+    ipt: Dict[str, Dict[str, float]] = {}
+    for bench in ctx.benchmarks:
+        per_design = {}
+        for name in DESIGN_ORDER:
+            design = table1.designs[name]
+            core = design.best_core_for(matrix, bench)
+            per_design[name] = matrix[bench][core]
+        ipt[bench] = per_design
+    return Fig09Result(table1=table1, ipt=ipt)

@@ -1,0 +1,20 @@
+"""Figure 11 — HOM vs HET-B without and with contesting.
+
+Thin wrapper over :mod:`repro.experiments.het_contest` for the HET-B
+design.  Paper headline for this figure: see `het_contest` and
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.het_contest import HetContestResult, run_design
+from repro.experiments.table1 import Table1Result
+
+
+def run(ctx: ExperimentContext, table1: Table1Result = None) -> HetContestResult:
+    """Evaluate this figure's design with and without contesting."""
+    return run_design(ctx, "HET-B", table1)
+
+
+def render(result: HetContestResult) -> str:
+    """Render the figure's table."""
+    return result.render("Figure 11")

@@ -1,0 +1,74 @@
+"""Figure 13 — contesting between two core types vs. more core types.
+
+Paper result: contesting between the two HET-C core types matches or exceeds
+running each benchmark on the best of HET-D's *three* core types (selected
+by har), and on average matches HET-ALL (all eleven types); contesting is
+therefore a more cost-effective path to single-thread performance than
+adding core types.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table1 import run as run_table1
+from repro.uarch.config import core_config
+from repro.util.stats import arithmetic_mean
+from repro.util.tables import format_table
+
+
+@dataclass
+class Fig13Result:
+    het_c_types: Tuple[str, ...]
+    het_d_types: Tuple[str, ...]
+    #: per benchmark: (HET-C contesting IPT, HET-D best-core IPT,
+    #:                 HET-ALL own/best-core IPT)
+    rows: Dict[str, Tuple[float, float, float]]
+
+    def averages(self) -> Tuple[float, float, float]:
+        """(HET-C contesting, HET-D, HET-ALL) average IPTs."""
+        return (
+            arithmetic_mean(v[0] for v in self.rows.values()),
+            arithmetic_mean(v[1] for v in self.rows.values()),
+            arithmetic_mean(v[2] for v in self.rows.values()),
+        )
+
+    def render(self) -> str:
+        """The Figure-13 comparison table with averages."""
+        table = format_table(
+            ["bench", "HET-C contesting", "HET-D no-contest", "HET-ALL no-contest"],
+            [[b, c, d, a] for b, (c, d, a) in self.rows.items()],
+            title=(
+                "Figure 13: 2-type contesting "
+                f"({' & '.join(self.het_c_types)}) vs 3 core types "
+                f"({' & '.join(self.het_d_types)}) vs all core types"
+            ),
+        )
+        c, d, a = self.averages()
+        wins_d = sum(1 for v in self.rows.values() if v[0] >= v[1])
+        return (
+            f"{table}\n"
+            f"averages: HET-C contesting {c:.3f} | HET-D {d:.3f} | HET-ALL {a:.3f}"
+            f"   (contesting beats-or-matches 3 types on {wins_d}/{len(self.rows)} benchmarks)"
+        )
+
+
+def run(ctx: ExperimentContext, table1: Table1Result = None) -> Fig13Result:
+    """Contest HET-C's types; compare against HET-D and HET-ALL."""
+    table1 = table1 or run_table1(ctx)
+    matrix = table1.matrix
+    het_c = table1.designs["HET-C"]
+    het_d = table1.designs["HET-D"]
+    configs = [core_config(n) for n in het_c.core_types]
+    rows = {}
+    for bench in ctx.benchmarks:
+        contested = ctx.contest(bench, configs).ipt
+        d_best = max(matrix[bench][n] for n in het_d.core_types)
+        all_best = max(matrix[bench].values())
+        rows[bench] = (contested, d_best, all_best)
+    return Fig13Result(
+        het_c_types=het_c.core_types,
+        het_d_types=het_d.core_types,
+        rows=rows,
+    )

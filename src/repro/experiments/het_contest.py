@@ -1,0 +1,115 @@
+"""Shared machinery for Figures 10-12: contesting on a constrained CMP.
+
+For a two-core-type design (HET-A/B/C), each benchmark is evaluated three
+ways: on the HOM core, on the design's most suitable core without
+contesting, and contested between the design's two core types.  The paper's
+headline: contesting recovers (and often exceeds) the per-benchmark
+performance sacrificed by constraining the core types, with saturated
+laggers appearing when one type's peak retirement rate cannot be sustained
+by the other (mcf's core on HET-B).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table1 import run as run_table1
+from repro.uarch.config import core_config
+from repro.util.stats import arithmetic_mean, percent_change
+from repro.util.tables import format_table
+
+
+@dataclass
+class HetContestResult:
+    design_name: str
+    core_types: Tuple[str, ...]
+    #: per benchmark: (HOM IPT, best-available IPT, contested IPT)
+    rows: Dict[str, Tuple[float, float, float]]
+    #: benchmarks for which a core type was disabled as a saturated lagger
+    saturated: Dict[str, List[str]]
+
+    def contest_speedup(self, bench: str) -> float:
+        """Contesting vs not contesting on the same design (%)."""
+        _, avail, contested = self.rows[bench]
+        return percent_change(contested, avail)
+
+    @property
+    def average_speedup(self) -> float:
+        return arithmetic_mean(
+            self.contest_speedup(b) for b in self.rows
+        )
+
+    @property
+    def max_speedup(self) -> Tuple[str, float]:
+        bench = max(self.rows, key=self.contest_speedup)
+        return bench, self.contest_speedup(bench)
+
+    def average_vs_hom(self, contested: bool) -> float:
+        """Average speedup of the design over HOM, with/without contesting."""
+        index = 2 if contested else 1
+        return arithmetic_mean(
+            percent_change(values[index], values[0])
+            for values in self.rows.values()
+        )
+
+    def render(self, figure: str) -> str:
+        """The figure's table plus contesting-vs-HOM summary lines."""
+        table = format_table(
+            ["bench", "HOM", f"{self.design_name} no-contest",
+             f"{self.design_name} contest", "contest speedup %", "saturated"],
+            [
+                [
+                    b,
+                    hom,
+                    avail,
+                    contested,
+                    self.contest_speedup(b),
+                    ",".join(self.saturated.get(b, [])) or "-",
+                ]
+                for b, (hom, avail, contested) in self.rows.items()
+            ],
+            title=(
+                f"{figure}: {self.design_name} "
+                f"({' & '.join(self.core_types)} cores) vs HOM"
+            ),
+        )
+        bench, mx = self.max_speedup
+        return (
+            f"{table}\n"
+            f"contesting vs no-contesting on {self.design_name}: "
+            f"avg {self.average_speedup:+.1f}%, max {mx:+.1f}% ({bench})\n"
+            f"{self.design_name} vs HOM: {self.average_vs_hom(False):+.1f}% "
+            f"without contesting, {self.average_vs_hom(True):+.1f}% with"
+        )
+
+
+def run_design(
+    ctx: ExperimentContext, design_name: str, table1: Table1Result = None
+) -> HetContestResult:
+    """Evaluate one two-core-type design with and without contesting."""
+    table1 = table1 or run_table1(ctx)
+    design = table1.designs[design_name]
+    if len(design.core_types) != 2:
+        raise ValueError(
+            f"{design_name} has {len(design.core_types)} core types; "
+            "figures 10-12 evaluate two-type designs"
+        )
+    matrix = table1.matrix
+    hom_core = table1.designs["HOM"].core_types[0]
+    configs = [core_config(n) for n in design.core_types]
+    rows = {}
+    saturated = {}
+    for bench in ctx.benchmarks:
+        hom_ipt = matrix[bench][hom_core]
+        avail = max(matrix[bench][n] for n in design.core_types)
+        result = ctx.contest(bench, configs)
+        rows[bench] = (hom_ipt, avail, result.ipt)
+        if result.saturated:
+            saturated[bench] = list(result.saturated)
+    return HetContestResult(
+        design_name=design_name,
+        core_types=design.core_types,
+        rows=rows,
+        saturated=saturated,
+    )

@@ -1,0 +1,98 @@
+"""Multi-seed replication of experiments.
+
+Our traces are synthetic samples; a single seed is one draw from each
+workload's phase process.  This module reruns an experiment metric across
+several seeds and reports mean ± sample standard deviation, so headline
+numbers (e.g. Figure 6's average contesting speedup) carry confidence
+information rather than a point estimate.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.common import ExperimentContext
+from repro.util.tables import format_table
+
+#: a metric maps a fresh per-seed context to {row_name: value}
+Metric = Callable[[ExperimentContext], Dict[str, float]]
+
+
+@dataclass
+class Replication:
+    """Per-row mean and sample standard deviation across seeds."""
+
+    seeds: List[int]
+    samples: Dict[str, List[float]]
+
+    def mean(self, row: str) -> float:
+        """Mean of the row's samples."""
+        values = self.samples[row]
+        return sum(values) / len(values)
+
+    def std(self, row: str) -> float:
+        """Sample standard deviation of the row's samples."""
+        values = self.samples[row]
+        if len(values) < 2:
+            return 0.0
+        mu = self.mean(row)
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+        )
+
+    def render(self, title: str, unit: str = "") -> str:
+        """Render mean/stddev per row as a table."""
+        rows = [
+            [name, self.mean(name), self.std(name)]
+            for name in self.samples
+        ]
+        suffix = f" ({unit})" if unit else ""
+        return format_table(
+            ["row", f"mean{suffix}", "stddev"], rows, title=title
+        )
+
+
+def replicate(
+    metric: Metric,
+    scale: str = "tiny",
+    seeds: Sequence[int] = (11, 23, 47),
+    grb_latency_ns: float = 1.0,
+) -> Replication:
+    """Evaluate ``metric`` on a fresh context per seed and aggregate."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: Dict[str, List[float]] = {}
+    for seed in seeds:
+        ctx = ExperimentContext(
+            scale=scale, grb_latency_ns=grb_latency_ns, seed=seed
+        )
+        values = metric(ctx)
+        for name, value in values.items():
+            samples.setdefault(name, []).append(value)
+    incomplete = [k for k, v in samples.items() if len(v) != len(seeds)]
+    if incomplete:
+        raise ValueError(
+            f"metric rows missing for some seeds: {incomplete[:5]}"
+        )
+    return Replication(seeds=list(seeds), samples=samples)
+
+
+def fig06_speedups(ctx: ExperimentContext) -> Dict[str, float]:
+    """The Figure-6 metric: contesting speedup (%) per benchmark."""
+    from repro.experiments.fig06 import run as run_fig06
+
+    result = run_fig06(ctx)
+    values = {bench: result.speedup(bench) for bench in result.rows}
+    values["AVERAGE"] = result.average_speedup
+    return values
+
+
+def matrix_diagonal_margin(ctx: ExperimentContext) -> Dict[str, float]:
+    """Own-core margin over the row's best rival, per benchmark (ratio)."""
+    matrix = ctx.ipt_matrix()
+    margins = {}
+    for bench, row in matrix.items():
+        own = row[bench]
+        rival = max(v for c, v in row.items() if c != bench)
+        margins[bench] = own / rival
+    return margins

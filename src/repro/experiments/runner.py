@@ -1,0 +1,134 @@
+"""CLI runner: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.experiments                 # all experiments, default scale
+    python -m repro.experiments --scale small   # faster, noisier
+    python -m repro.experiments fig06 table1    # a subset
+    python -m repro.experiments --list
+
+Experiments share one :class:`ExperimentContext`, so e.g. the region logs
+computed for fig01 are reused by fig06's pair pruning and the matrix behind
+table1 feeds fig09-13.
+"""
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import fig01, fig06, fig07, fig08, fig09, fig10
+from repro.experiments import fig11, fig12, fig13, appendix_a, table1
+from repro.experiments import ext_energy, ext_nway, ext_queueing, ext_resync
+from repro.experiments import ext_robustness
+from repro.experiments.common import SCALES, ExperimentContext
+
+
+def _render(module, result) -> str:
+    if hasattr(module, "render"):
+        return module.render(result)
+    return result.render()
+
+
+#: Registry in the paper's presentation order.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig01": fig01.run,
+    "appendix_a": appendix_a.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "table1": table1.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    # extensions beyond the paper's figures (see each module's docstring)
+    "ext_queueing": ext_queueing.run,
+    "ext_nway": ext_nway.run,
+    "ext_resync": ext_resync.run,
+    "ext_energy": ext_energy.run,
+    "ext_robustness": ext_robustness.run,
+}
+
+_MODULES = {
+    "fig01": fig01, "appendix_a": appendix_a, "fig06": fig06,
+    "fig07": fig07, "fig08": fig08, "table1": table1, "fig09": fig09,
+    "fig10": fig10, "fig11": fig11, "fig12": fig12, "fig13": fig13,
+    "ext_queueing": ext_queueing, "ext_nway": ext_nway,
+    "ext_resync": ext_resync,
+    "ext_energy": ext_energy,
+    "ext_robustness": ext_robustness,
+}
+
+
+def run_all(scale: str = "default", names=None, stream=None):
+    """Run the selected experiments, print each, return the result dict."""
+    stream = stream if stream is not None else sys.stdout
+    ctx = ExperimentContext(scale=scale)
+    selected = list(names) if names else list(EXPERIMENTS)
+    results = {}
+    for name in selected:
+        if name not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+            )
+        started = time.time()
+        result = EXPERIMENTS[name](ctx)
+        results[name] = result
+        print(f"\n=== {name} ({time.time() - started:.1f}s) ===", file=stream)
+        print(_render(_MODULES[name], result), file=stream)
+    return results
+
+
+def main(argv=None) -> int:
+    """CLI entry point (see module docstring for usage)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "names", nargs="*", help="experiments to run (default: all)"
+    )
+    parser.add_argument(
+        "--scale", default="default", choices=sorted(SCALES),
+        help="trace scale / candidate budget preset",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the rendered results to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.output:
+        class _Tee:
+            def __init__(self, *streams):
+                self._streams = streams
+
+            def write(self, text):
+                for s in self._streams:
+                    s.write(text)
+
+            def flush(self):
+                for s in self._streams:
+                    s.flush()
+
+        with open(args.output, "w") as fh:
+            run_all(
+                scale=args.scale,
+                names=args.names or None,
+                stream=_Tee(sys.stdout, fh),
+            )
+    else:
+        run_all(scale=args.scale, names=args.names or None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

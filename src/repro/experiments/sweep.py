@@ -1,0 +1,85 @@
+"""Generic parameter sweeps with CSV output.
+
+Research workflows around this library are mostly "run the same contest
+across a grid of knobs and plot the result".  ``sweep`` runs a cartesian
+grid of named parameters through a user function and collects rows;
+``write_csv`` serialises them without any dependency.
+
+Example::
+
+    from repro.experiments.sweep import sweep, write_csv
+    from repro import core_config, generate_trace, workload_profile
+    from repro.core import ContestingSystem
+
+    trace = generate_trace(workload_profile("vpr"), 30_000, seed=11)
+
+    def run(latency_ns, max_lag):
+        result = ContestingSystem(
+            [core_config("bzip"), core_config("vpr")], trace,
+            grb_latency_ns=latency_ns, max_lag=max_lag,
+        ).run()
+        return {"ipt": result.ipt, "saturated": len(result.saturated)}
+
+    rows = sweep(run, latency_ns=[1, 10, 100], max_lag=[256, 2048])
+    write_csv(rows, "latency_lag.csv")
+"""
+
+import itertools
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Union
+
+
+def sweep(
+    fn: Callable[..., Dict[str, object]],
+    **grid: Sequence,
+) -> List[Dict[str, object]]:
+    """Run ``fn`` over the cartesian product of the keyword grids.
+
+    ``fn`` receives one value per grid as keyword arguments and returns a
+    dict of result columns; each output row carries the grid point's
+    parameters plus the result columns.  Parameter names shadowed by result
+    columns raise, so rows stay unambiguous.
+    """
+    if not grid:
+        raise ValueError("sweep needs at least one parameter grid")
+    names = sorted(grid)
+    for name, values in grid.items():
+        if not values:
+            raise ValueError(f"grid {name!r} is empty")
+    rows: List[Dict[str, object]] = []
+    for point in itertools.product(*(grid[n] for n in names)):
+        params = dict(zip(names, point))
+        result = fn(**params)
+        if not isinstance(result, dict):
+            raise TypeError("the sweep function must return a dict of columns")
+        clash = set(result) & set(params)
+        if clash:
+            raise ValueError(
+                f"result columns shadow sweep parameters: {sorted(clash)}"
+            )
+        row = dict(params)
+        row.update(result)
+        rows.append(row)
+    return rows
+
+
+def write_csv(rows: Sequence[Dict[str, object]], path: Union[str, Path]) -> None:
+    """Write sweep rows as CSV (header = union of keys, insertion order)."""
+    if not rows:
+        raise ValueError("no rows to write")
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(value: object) -> str:
+        text = "" if value is None else str(value)
+        if any(ch in text for ch in ",\"\n"):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(cell(row.get(c)) for c in columns))
+    Path(path).write_text("\n".join(lines) + "\n")

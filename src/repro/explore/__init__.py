@@ -1,0 +1,47 @@
+"""Design-space exploration (the XpScalar substitute).
+
+The paper's benchmark-customised cores were found with XpScalar, a
+simulated-annealing design-space exploration framework that varies
+superscalar width, window sizes, cache geometries and clock frequency with
+pipeline depths consistent with the clock.  This package provides the same
+search procedure over our core model:
+
+* :mod:`repro.explore.space` — the discrete parameter space, a 70nm-style
+  technology model that couples cache geometry/structure sizes to access
+  latencies and the clock period, and neighbour moves;
+* :mod:`repro.explore.annealing` — a classic simulated-annealing loop;
+* :mod:`repro.explore.objective` — IPT objectives (single workload or a
+  suite aggregate, as in the paper's whole-suite exploration).
+
+The headline experiments use the paper's published Appendix-A cores
+directly; exploration is exercised by the ``explore_core`` example, the
+tests, and the Section-7.2 discussion (customising cores *for contesting*).
+"""
+
+from repro.explore.annealing import AnnealingResult, simulated_annealing
+from repro.explore.pairs import (
+    PairResult,
+    best_partner_from_palette,
+    contest_score,
+    explore_contesting_pair,
+)
+from repro.explore.objective import (
+    contest_pair_objective,
+    suite_objective,
+    workload_objective,
+)
+from repro.explore.space import DesignSpace, random_config
+
+__all__ = [
+    "AnnealingResult",
+    "DesignSpace",
+    "PairResult",
+    "best_partner_from_palette",
+    "contest_score",
+    "explore_contesting_pair",
+    "contest_pair_objective",
+    "random_config",
+    "simulated_annealing",
+    "suite_objective",
+    "workload_objective",
+]

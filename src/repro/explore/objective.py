@@ -1,0 +1,68 @@
+"""Objectives for design-space exploration."""
+
+from typing import Callable, Dict, Sequence
+
+from repro.core.system import ContestingSystem
+from repro.isa.trace import Trace
+from repro.uarch.config import CoreConfig
+from repro.uarch.run import run_standalone
+from repro.util.stats import harmonic_mean
+
+Objective = Callable[[CoreConfig], float]
+
+
+def workload_objective(trace: Trace) -> Objective:
+    """IPT of one workload on the candidate core (benchmark customisation,
+    the paper's Appendix-A setting)."""
+
+    def score(config: CoreConfig) -> float:
+        return run_standalone(config, trace).ipt
+
+    return score
+
+
+def suite_objective(traces: Sequence[Trace]) -> Objective:
+    """Harmonic-mean IPT over a suite (the paper's whole-suite exploration,
+    Section 6.2, which found no core meaningfully better than gcc's)."""
+    if not traces:
+        raise ValueError("suite_objective needs at least one trace")
+
+    def score(config: CoreConfig) -> float:
+        return harmonic_mean(
+            run_standalone(config, t).ipt for t in traces
+        )
+
+    return score
+
+
+def contest_pair_objective(
+    trace: Trace, partner: CoreConfig, grb_latency_ns: float = 1.0
+) -> Objective:
+    """Contested IPT of (candidate, partner) on a workload.
+
+    Section 7.2: the true potential of contesting requires customising cores
+    *for contesting* — the candidate is evaluated by how well it contests
+    alongside a fixed partner, not by its standalone performance.  (Full
+    pair-space exploration composes this with an outer loop over partners.)
+    """
+
+    def score(config: CoreConfig) -> float:
+        system = ContestingSystem(
+            [config, partner], trace, grb_latency_ns=grb_latency_ns
+        )
+        return system.run().ipt
+
+    return score
+
+
+def cached(objective: Objective) -> Objective:
+    """Memoise an objective on the config fingerprint (annealers revisit)."""
+    memo: Dict[tuple, float] = {}
+
+    def score(config: CoreConfig) -> float:
+        key = config.fingerprint()
+        if key not in memo:
+            memo[key] = objective(config)
+        return memo[key]
+
+    return score

@@ -1,0 +1,151 @@
+"""Joint exploration of contesting pairs (the Section-7.2 programme).
+
+The paper argues that cores customised for *application-level* performance
+are not necessarily the best cores to contest with: the true potential of
+contesting requires exploring core designs *together*, in contesting pairs,
+which squares the design space and makes every evaluation a (slower)
+co-simulation.  This module implements exactly that:
+
+* :func:`best_partner_from_palette` — the cheap variant: fix one core
+  (e.g. the benchmark's customised core) and pick the best contesting
+  partner from a palette by actually contesting each candidate;
+* :func:`explore_contesting_pair` — the full variant: simulated annealing
+  over the *joint* genome of two cores, scored by contested IPT.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.system import ContestingSystem
+from repro.explore.space import DesignSpace, derive_config
+from repro.isa.trace import Trace
+from repro.uarch.config import CoreConfig
+from repro.util.rng import substream
+
+
+def contest_score(
+    config_a: CoreConfig,
+    config_b: CoreConfig,
+    trace: Trace,
+    grb_latency_ns: float = 1.0,
+) -> float:
+    """Contested IPT of a pair on a trace (the pair-exploration objective)."""
+    system = ContestingSystem(
+        [config_a, config_b], trace, grb_latency_ns=grb_latency_ns
+    )
+    return system.run().ipt
+
+
+def best_partner_from_palette(
+    base: CoreConfig,
+    candidates: Sequence[CoreConfig],
+    trace: Trace,
+    grb_latency_ns: float = 1.0,
+) -> Tuple[CoreConfig, float]:
+    """Contest ``base`` against every candidate; return the best partner.
+
+    Candidates identical to ``base`` (same fingerprint) are skipped — a
+    core gains nothing from contesting an exact copy of itself.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate partner")
+    best: Optional[Tuple[CoreConfig, float]] = None
+    base_print = base.fingerprint()
+    for candidate in candidates:
+        if candidate.fingerprint() == base_print:
+            continue
+        score = contest_score(base, candidate, trace, grb_latency_ns)
+        if best is None or score > best[1]:
+            best = (candidate, score)
+    if best is None:
+        raise ValueError("all candidates were identical to the base core")
+    return best
+
+
+@dataclass
+class PairResult:
+    """Outcome of a joint pair exploration."""
+
+    genome_a: Dict[str, int]
+    genome_b: Dict[str, int]
+    best_score: float
+    evaluations: int
+    trajectory: List[Tuple[int, float]]
+
+    def best_configs(self, name_a: str = "pair_a", name_b: str = "pair_b"):
+        """Materialise both best genomes as named CoreConfigs."""
+        return (
+            derive_config(name_a, self.genome_a),
+            derive_config(name_b, self.genome_b),
+        )
+
+
+def explore_contesting_pair(
+    trace: Trace,
+    steps: int = 100,
+    seed: int = 0,
+    grb_latency_ns: float = 1.0,
+    initial_temp: float = 0.25,
+    final_temp: float = 0.01,
+    space: Optional[DesignSpace] = None,
+) -> PairResult:
+    """Anneal over the joint (core A, core B) design space.
+
+    Each move mutates a single parameter of a single core (the classic
+    neighbourhood lifted to the product space); the objective is the
+    contested IPT of the pair on ``trace``.  Budgets are the caller's
+    problem — the paper notes this exploration is intrinsically slower
+    than single-core customisation because every point is a co-simulation.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    rng = substream(seed, "pair-annealing")
+    space = space or DesignSpace()
+    memo: Dict[tuple, float] = {}
+
+    def score(ga: Dict[str, int], gb: Dict[str, int]) -> float:
+        ca = derive_config("pair_a", ga)
+        cb = derive_config("pair_b", gb)
+        key = tuple(sorted((ca.fingerprint(), cb.fingerprint())))
+        if key not in memo:
+            memo[key] = contest_score(ca, cb, trace, grb_latency_ns)
+        return memo[key]
+
+    current_a = space.random_genome(rng)
+    current_b = space.random_genome(rng)
+    current_score = score(current_a, current_b)
+    best = (dict(current_a), dict(current_b), current_score)
+    evaluations = 1
+    trajectory = [(0, current_score)]
+    cooling = (final_temp / initial_temp) ** (1.0 / steps)
+    temp = initial_temp
+
+    for step in range(1, steps + 1):
+        if rng.random() < 0.5:
+            cand_a = space.neighbour(current_a, rng)
+            cand_b = current_b
+        else:
+            cand_a = current_a
+            cand_b = space.neighbour(current_b, rng)
+        cand_score = score(cand_a, cand_b)
+        evaluations += 1
+        delta = (
+            (cand_score - current_score) / current_score
+            if current_score > 0
+            else (1.0 if cand_score > current_score else -1.0)
+        )
+        if delta >= 0 or rng.random() < math.exp(delta / temp):
+            current_a, current_b, current_score = cand_a, cand_b, cand_score
+            trajectory.append((step, current_score))
+            if current_score > best[2]:
+                best = (dict(current_a), dict(current_b), current_score)
+        temp *= cooling
+
+    return PairResult(
+        genome_a=best[0],
+        genome_b=best[1],
+        best_score=best[2],
+        evaluations=evaluations,
+        trajectory=trajectory,
+    )

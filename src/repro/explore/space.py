@@ -1,0 +1,144 @@
+"""The discrete core design space and its 70nm-style technology model.
+
+Parameter palettes follow the spread of the published Appendix-A cores.
+Derived quantities keep designs self-consistent the way XpScalar's did:
+
+* the clock period shortens with front-end/scheduler depth and lengthens
+  with width and issue-queue size (deeper pipelining buys frequency, wider
+  structures cost it);
+* cache access latencies in cycles are an access-time model (log of
+  capacity, plus associativity) divided by the period;
+* the memory latency corresponds to a fixed ~57 ns DRAM access — the
+  Appendix-A cores all sit within 54–61 ns once their clock periods are
+  folded in.
+"""
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Tuple
+
+from repro.uarch.cache import CacheConfig
+from repro.uarch.config import CoreConfig
+
+#: Fixed DRAM access time implied by the Appendix-A palette (ns).
+DRAM_NS = 57.0
+
+#: Discrete palettes, spanning the published Appendix-A values.
+PALETTES: Dict[str, List] = {
+    "width": [3, 4, 5, 6, 7, 8],
+    "rob_size": [64, 128, 256, 512, 1024],
+    "iq_size": [32, 64],
+    "lsq_size": [64, 128, 256],
+    "frontend_depth": [4, 6, 7, 8, 12],
+    "sched_depth": [1, 2, 3, 4],
+    "l1_assoc": [1, 2, 4, 8],
+    "l1_block": [8, 32, 64, 128],
+    "l1_sets": [128, 256, 1024, 2048, 16384, 32768],
+    "l2_assoc": [1, 4, 8, 16],
+    "l2_block": [64, 128, 256, 512],
+    "l2_sets": [32, 128, 1024, 2048, 4096, 8192],
+}
+
+#: The genome: one palette index per parameter, in this fixed key order.
+GENOME_KEYS: Tuple[str, ...] = tuple(PALETTES)
+
+
+def _cache_ns(size_bytes: int, assoc: int) -> float:
+    """Access-time model: grows with log-capacity and associativity."""
+    kb = max(1.0, size_bytes / 1024.0)
+    return 0.30 + 0.17 * math.log2(kb) + 0.05 * assoc
+
+
+def derive_config(name: str, genome: Dict[str, int]) -> CoreConfig:
+    """Build a self-consistent :class:`CoreConfig` from palette choices."""
+    width = genome["width"]
+    iq = genome["iq_size"]
+    fe = genome["frontend_depth"]
+    sched = genome["sched_depth"]
+
+    # Clock model: a wider machine with bigger scheduling structures has a
+    # longer critical path; pipelining (front-end + scheduler depth) divides
+    # it down.  Constants are fitted loosely to the Appendix-A spread
+    # (0.19 ns at width 8 / depth 15 ... 0.49 ns at width 5 / depth 5).
+    critical_ns = 1.55 + 0.16 * width + 0.11 * math.log2(iq)
+    # round first so every latency below is derived from the stored period
+    period_ns = round(max(0.15, critical_ns / (fe + sched)), 3)
+
+    # Wakeup latency grows with how aggressively the scheduler is pipelined.
+    awaken = max(0, sched - 1)
+
+    l1 = CacheConfig(
+        assoc=genome["l1_assoc"],
+        block=genome["l1_block"],
+        sets=genome["l1_sets"],
+        latency=max(1, round(_cache_ns(
+            genome["l1_assoc"] * genome["l1_block"] * genome["l1_sets"],
+            genome["l1_assoc"],
+        ) / period_ns)),
+    )
+    l2 = CacheConfig(
+        assoc=genome["l2_assoc"],
+        block=genome["l2_block"],
+        sets=genome["l2_sets"],
+        latency=max(2, round((0.8 + 2.6 * max(
+            0.0,
+            math.log2(
+                genome["l2_assoc"] * genome["l2_block"] * genome["l2_sets"]
+                / (1024.0 * 1024.0)
+            ),
+        ) + 0.9) / period_ns)),
+    )
+    return CoreConfig(
+        name=name,
+        clock_period_ns=period_ns,
+        width=width,
+        rob_size=genome["rob_size"],
+        iq_size=iq,
+        lsq_size=genome["lsq_size"],
+        frontend_depth=fe,
+        sched_depth=sched,
+        awaken_latency=awaken,
+        mem_latency=max(1, round(DRAM_NS / period_ns)),
+        l1=l1,
+        l2=l2,
+    )
+
+
+@dataclass
+class DesignSpace:
+    """The discrete design space with neighbour moves for annealing."""
+
+    palettes: Dict[str, List] = field(default_factory=lambda: dict(PALETTES))
+
+    def random_genome(self, rng: Random) -> Dict[str, int]:
+        """A uniform random palette choice per parameter."""
+        return {k: rng.choice(v) for k, v in self.palettes.items()}
+
+    def neighbour(self, genome: Dict[str, int], rng: Random) -> Dict[str, int]:
+        """Move one parameter one palette step (the annealer's move)."""
+        key = rng.choice(GENOME_KEYS)
+        palette = self.palettes[key]
+        index = palette.index(genome[key])
+        if index == 0:
+            index = 1
+        elif index == len(palette) - 1:
+            index -= 1
+        else:
+            index += rng.choice((-1, 1))
+        new = dict(genome)
+        new[key] = palette[index]
+        return new
+
+    def size(self) -> int:
+        """Number of points in the space."""
+        n = 1
+        for v in self.palettes.values():
+            n *= len(v)
+        return n
+
+
+def random_config(name: str, seed: int = 0) -> CoreConfig:
+    """A random self-consistent configuration (useful for tests/examples)."""
+    rng = Random(seed)
+    return derive_config(name, DesignSpace().random_genome(rng))

@@ -1,0 +1,252 @@
+"""Deterministic synthetic trace generation from a phase mixture.
+
+``generate_trace`` walks a Markov chain over the mixture's phase types
+(geometric dwell, no self-transitions) and emits one :class:`Instr` per step.
+Generation is fully determined by ``(mix, length, seed)``.
+"""
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instr, OpClass
+from repro.isa.phases import PhaseMix, PhaseType
+from repro.isa.trace import Trace
+from repro.util.rng import substream
+
+
+class _PhaseRuntime:
+    """Mutable per-phase state that persists across re-entries of a phase."""
+
+    __slots__ = (
+        "phase",
+        "pc_base",
+        "data_base",
+        "body_pos",
+        "stream_off",
+        "branch_dirs",
+        "next_branch",
+        "obj_base",
+        "obj_pos",
+    )
+
+    def __init__(self, phase: PhaseType, index: int, region_id: int, rng):
+        self.phase = phase
+        # Distinct PC regions per phase type keep predictor behaviour
+        # attributable to the phase; the data region may be shared between
+        # phases carrying the same region tag (see PhaseType.region).
+        self.pc_base = (index + 1) << 20
+        self.data_base = (region_id + 1) << 26
+        self.body_pos = 0
+        self.stream_off = 0
+        self.obj_base = 0
+        self.obj_pos = phase.obj_words  # force a fresh object first
+        # Fixed per-static-branch bias direction; predictability then comes
+        # entirely from the phase's branch_bias parameter.
+        self.branch_dirs = [
+            rng.random() < phase.taken_frac
+            for _ in range(phase.n_static_branches)
+        ]
+        self.next_branch = 0
+
+
+def _sample_dwell(rng, mean: int) -> int:
+    """Geometric-ish dwell with the configured mean, never below 8."""
+    return max(8, int(rng.expovariate(1.0 / mean)))
+
+
+def generate_trace(
+    mix: PhaseMix,
+    length: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Trace:
+    """Generate a ``length``-instruction trace for the given phase mixture.
+
+    Parameters
+    ----------
+    mix:
+        The workload's phase mixture (see :mod:`repro.isa.workloads`).
+    length:
+        Number of dynamic instructions to emit.
+    seed:
+        Root seed; traces are bit-identical for identical arguments.
+    name:
+        Trace name; defaults to the mixture name.
+    """
+    if length <= 0:
+        raise ValueError("trace length must be positive")
+    rng = substream(seed, "trace", mix.name)
+
+    region_names = []
+    region_ids = []
+    for i, (p, _) in enumerate(mix.entries):
+        tag = p.region or f"__private_{i}"
+        if tag not in region_names:
+            region_names.append(tag)
+        region_ids.append(region_names.index(tag))
+    runtimes = [
+        _PhaseRuntime(p, i, region_ids[i], rng)
+        for i, (p, _) in enumerate(mix.entries)
+    ]
+    weights = mix.weights
+
+    indices = list(range(len(runtimes)))
+    transitions = mix.transitions
+
+    def pick_phase(current: int) -> int:
+        # With an explicit transition matrix, draw the successor from the
+        # current phase's row.  Otherwise: weighted draw *including* the
+        # current phase — by renewal theory the long-run instruction share
+        # of phase i is then exactly weight_i * dwell_i / sum_j w_j * d_j.
+        # (Excluding the current phase would cap any dominant phase near
+        # 50% regardless of its weight.)  A self-draw simply extends the
+        # dwell; a phase boundary is only recorded on an actual change.
+        if transitions is not None and current >= 0:
+            return rng.choices(indices, weights=transitions[current], k=1)[0]
+        return rng.choices(indices, weights=weights, k=1)[0]
+
+    instructions: List[Instr] = []
+    phase_starts: List[int] = [0]
+    producers: deque = deque(maxlen=64)
+    last_load_seq = -1
+
+    current = pick_phase(-1)
+    dwell = _sample_dwell(rng, runtimes[current].phase.mean_dwell)
+
+    for seq in range(length):
+        if dwell <= 0:
+            chosen = pick_phase(current)
+            dwell = _sample_dwell(rng, runtimes[chosen].phase.mean_dwell)
+            if chosen != current:
+                current = chosen
+                phase_starts.append(seq)
+        dwell -= 1
+
+        state = runtimes[current]
+        phase = state.phase
+
+        # --- choose the op class from the phase mix
+        r = rng.random()
+        if phase.syscall_rate and rng.random() < phase.syscall_rate:
+            op = OpClass.SYSCALL
+        elif r < phase.load_frac:
+            op = OpClass.LOAD
+        elif r < phase.load_frac + phase.store_frac:
+            op = OpClass.STORE
+        elif r < phase.load_frac + phase.store_frac + phase.branch_frac:
+            op = OpClass.BRANCH
+        elif r < (
+            phase.load_frac
+            + phase.store_frac
+            + phase.branch_frac
+            + phase.imul_frac
+        ):
+            op = OpClass.IMUL
+        elif r < (
+            phase.load_frac
+            + phase.store_frac
+            + phase.branch_frac
+            + phase.imul_frac
+            + phase.idiv_frac
+        ):
+            op = OpClass.IDIV
+        else:
+            op = OpClass.IALU
+
+        # --- program counter
+        if op == OpClass.BRANCH:
+            j = state.next_branch
+            state.next_branch = (j + 1) % phase.n_static_branches
+            pc = state.pc_base + 4 * (phase.body_size + j)
+        else:
+            pc = state.pc_base + 4 * state.body_pos
+            state.body_pos = (state.body_pos + 1) % phase.body_size
+
+        # --- register dependences
+        dep1 = -1
+        dep2 = -1
+        if op != OpClass.NOP:
+            dep1_prob = phase.dep1_frac
+            if op == OpClass.BRANCH:
+                # conditions are usually computed shortly before the branch
+                dep1_prob *= phase.branch_dep_scale
+            if (
+                op == OpClass.LOAD
+                and phase.pointer_chase
+                and last_load_seq >= 0
+            ):
+                dep1 = last_load_seq
+            elif producers and rng.random() < dep1_prob:
+                if rng.random() < phase.chain_frac:
+                    dep1 = producers[-1]
+                else:
+                    window = min(phase.dep_window, len(producers))
+                    dep1 = producers[-1 - rng.randrange(window)]
+            if producers and rng.random() < phase.two_src_frac:
+                window = min(phase.dep_window, len(producers))
+                dep2 = producers[-1 - rng.randrange(window)]
+
+        # --- memory address
+        addr = 0
+        if op == OpClass.LOAD or op == OpClass.STORE:
+            if rng.random() < phase.seq_frac:
+                state.stream_off = (
+                    state.stream_off + phase.stride
+                ) % phase.footprint
+                offset = state.stream_off
+            else:
+                # Skewed-random *object* within the footprint, walked
+                # densely word by word: temporal locality falls off with
+                # rank (see PhaseType docs), so larger caches capture a
+                # larger share.  Ranks are scattered over the address space
+                # with a multiplicative hash so the hot set spreads across
+                # all cache sets instead of packing into the low ones.
+                if state.obj_pos >= phase.obj_words:
+                    obj_bytes = phase.obj_words * 8
+                    objects = max(1, phase.footprint // obj_bytes)
+                    rank = int(objects * (rng.random() ** phase.zipf_skew))
+                    state.obj_base = ((rank * 2654435761) % objects) * obj_bytes
+                    state.obj_pos = 0
+                offset = state.obj_base + state.obj_pos * 8
+                state.obj_pos += 1
+            addr = state.data_base + offset
+
+        # --- branch outcome
+        taken = False
+        if op == OpClass.BRANCH:
+            direction = state.branch_dirs[
+                (pc // 4 - phase.body_size) % phase.n_static_branches
+            ]
+            taken = (
+                direction
+                if rng.random() < phase.branch_bias
+                else not direction
+            )
+
+        instr = Instr(op=op, pc=pc, dep1=dep1, dep2=dep2, addr=addr, taken=taken)
+        instructions.append(instr)
+
+        if instr.produces:
+            producers.append(seq)
+            if op == OpClass.LOAD:
+                last_load_seq = seq
+
+    return Trace(
+        name=name or mix.name,
+        instructions=instructions,
+        seed=seed,
+        phase_starts=phase_starts,
+    )
+
+
+def trace_phase_summary(trace: Trace) -> Dict[str, float]:
+    """Summary diagnostics: mean phase dwell and transition count."""
+    starts = trace.phase_starts
+    if len(starts) < 2:
+        return {"transitions": 0, "mean_dwell": float(len(trace))}
+    dwells = [b - a for a, b in zip(starts, starts[1:])]
+    dwells.append(len(trace) - starts[-1])
+    return {
+        "transitions": float(len(starts) - 1),
+        "mean_dwell": sum(dwells) / len(dwells),
+    }

@@ -1,0 +1,87 @@
+"""Instruction records for the synthetic traces.
+
+Only timing-relevant information is carried: the microarchitectural models are
+trace-driven timing simulators, not functional emulators.
+"""
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes with distinct timing behaviour.
+
+    The integer values are stable and used directly in hot simulator loops.
+    """
+
+    IALU = 0      # single-cycle integer op
+    IMUL = 1      # multi-cycle integer multiply
+    IDIV = 2      # long-latency integer divide
+    LOAD = 3      # memory read through the private cache hierarchy
+    STORE = 4     # memory write (performed at commit)
+    BRANCH = 5    # conditional branch with a trace-recorded outcome
+    SYSCALL = 6   # synchronous exception / system call boundary
+    NOP = 7       # no result, no dependences
+
+
+#: Op classes that write a register and can therefore be dependence producers.
+PRODUCING_OPS = frozenset(
+    {OpClass.IALU, OpClass.IMUL, OpClass.IDIV, OpClass.LOAD}
+)
+
+#: Op classes that access data memory.
+MEMORY_OPS = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+class Instr:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    op:
+        The :class:`OpClass` (stored as a plain int for speed).
+    pc:
+        Static instruction identifier; branch predictors index on it.
+    dep1, dep2:
+        Sequence numbers of the producing instructions this one reads, or
+        ``-1`` when the operand is immediate/architecturally ready.  Producers
+        always precede consumers in the trace.
+    addr:
+        Byte address for LOAD/STORE; ``0`` otherwise.
+    taken:
+        Branch outcome for BRANCH; ``False`` otherwise.
+    """
+
+    __slots__ = ("op", "pc", "dep1", "dep2", "addr", "taken")
+
+    def __init__(
+        self,
+        op: int,
+        pc: int,
+        dep1: int = -1,
+        dep2: int = -1,
+        addr: int = 0,
+        taken: bool = False,
+    ):
+        self.op = int(op)
+        self.pc = pc
+        self.dep1 = dep1
+        self.dep2 = dep2
+        self.addr = addr
+        self.taken = taken
+
+    @property
+    def produces(self) -> bool:
+        """Whether this instruction writes a register value."""
+        return self.op in PRODUCING_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        """Whether this instruction accesses data memory."""
+        return self.op == OpClass.LOAD or self.op == OpClass.STORE
+
+    def __repr__(self) -> str:
+        return (
+            f"Instr(op={OpClass(self.op).name}, pc={self.pc:#x}, "
+            f"dep1={self.dep1}, dep2={self.dep2}, addr={self.addr:#x}, "
+            f"taken={self.taken})"
+        )

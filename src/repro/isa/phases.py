@@ -1,0 +1,342 @@
+"""Fine-grain phase types and phase mixtures.
+
+Section 2 of the paper shows that workload behaviour varies at granularities
+of well under a thousand instructions, and that this fine-grain variation is
+precisely what contesting exploits.  Our synthetic workloads make that
+structure explicit: a workload is a mixture of *phase types* (pointer-chase,
+streaming, wide-ILP, branchy, ...), and the generator walks a Markov chain
+over them with geometric dwell times of order 10^2–10^3 instructions.
+
+Each phase type pins down the properties the timing models are sensitive to:
+
+* instruction mix (loads/stores/branches/multiplies),
+* register dependence structure (chain fraction, dependence window),
+* branch predictability (per-static-branch bias),
+* memory behaviour (footprint, stride vs. random, pointer chasing),
+* static code body size (the PC footprint the branch predictor sees),
+* mean dwell time.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseType:
+    """A reusable description of one kind of fine-grain program behaviour."""
+
+    name: str
+
+    # --- instruction mix (fractions of dynamic instructions; the remainder
+    # --- is single-cycle integer ALU work)
+    load_frac: float = 0.20
+    store_frac: float = 0.08
+    branch_frac: float = 0.12
+    imul_frac: float = 0.00
+    idiv_frac: float = 0.00
+
+    # --- register dependence structure
+    #: probability an instruction has a register source at all; the rest are
+    #: immediate-operand work that is ready at dispatch
+    dep1_frac: float = 0.60
+    #: probability the source comes from the *most recent* producer,
+    #: serialising execution into a chain
+    chain_frac: float = 0.15
+    #: otherwise the producer is drawn uniformly from this many most recent
+    #: producers; larger windows mean more extractable ILP
+    dep_window: int = 12
+    #: probability of a second source operand
+    two_src_frac: float = 0.35
+    #: branches draw a register source with ``dep1_frac * branch_dep_scale``
+    #: probability — conditions are usually computed shortly before the
+    #: branch, so most branches resolve quickly once issued
+    branch_dep_scale: float = 0.5
+
+    # --- branch behaviour
+    #: number of static conditional branches in the phase body
+    n_static_branches: int = 8
+    #: probability a branch follows its per-static bias direction; values
+    #: near 1.0 are highly predictable, near 0.5 unpredictable
+    branch_bias: float = 0.92
+    #: fraction of static branches whose bias direction is *taken*; taken
+    #: branches break the fetch group, so low values model unrolled /
+    #: forward-branch-dominated code
+    taken_frac: float = 0.5
+
+    # --- memory behaviour
+    #: bytes of data touched by the phase
+    footprint: int = 64 * 1024
+    #: probability a memory access continues the sequential stride stream
+    #: (the remainder are skewed-random within the footprint)
+    seq_frac: float = 0.5
+    #: stride in bytes for the sequential stream
+    stride: int = 8
+    #: if True, every load depends on the previous load (pointer chasing)
+    pointer_chase: bool = False
+    #: temporal-locality skew for the random accesses: an access goes to
+    #: the object of rank ``floor(N * u**zipf_skew)`` for uniform ``u``
+    #: (ranks are hash-scattered over the footprint), so a cache holding
+    #: ``C`` bytes of the footprint captures roughly
+    #: ``(C/footprint)**(1/zipf_skew)`` of the accesses.  Higher skew =
+    #: hotter head.
+    zipf_skew: float = 3.0
+    #: random accesses walk *dense objects*: each selected object is read as
+    #: ``obj_words`` consecutive 8-byte words across successive memory ops.
+    #: Density makes byte capacity (not block count) the operative cache
+    #: constraint and gives large blocks their spatial-locality advantage.
+    obj_words: int = 8
+
+    #: data-region tag: phases in the same mix with the same region share a
+    #: base address, modelling program phases that operate on the same data
+    #: structures.  Empty string = a private region per phase type.
+    region: str = ""
+
+    # --- static code shape
+    #: static instruction slots in the phase body (PC footprint)
+    body_size: int = 96
+
+    # --- phase scheduling
+    #: mean dwell time in dynamic instructions (geometric distribution)
+    mean_dwell: int = 300
+
+    #: per-instruction probability of a synchronous exception (syscall)
+    syscall_rate: float = 0.0
+
+    def __post_init__(self):
+        mix = (
+            self.load_frac
+            + self.store_frac
+            + self.branch_frac
+            + self.imul_frac
+            + self.idiv_frac
+        )
+        if mix >= 1.0:
+            raise ValueError(f"instruction mix of {self.name} exceeds 1.0")
+        if not 0.5 <= self.branch_bias <= 1.0:
+            raise ValueError("branch_bias must lie in [0.5, 1.0]")
+        if self.footprint <= 0 or self.stride <= 0:
+            raise ValueError("footprint and stride must be positive")
+        if self.dep_window < 1 or self.body_size < 4:
+            raise ValueError("dep_window >= 1 and body_size >= 4 required")
+        if self.mean_dwell < 1:
+            raise ValueError("mean_dwell must be >= 1")
+
+
+@dataclass
+class PhaseMix:
+    """A named mixture of phase types with stationary selection weights.
+
+    The long-run instruction share of each phase is proportional to
+    ``weight * mean_dwell`` (the generator redraws by weight at every dwell
+    expiry, self-draws included, so shares follow renewal theory exactly).
+    """
+
+    name: str
+    entries: List[Tuple[PhaseType, float]] = field(default_factory=list)
+    #: optional explicit Markov transition matrix: ``transitions[i][j]`` is
+    #: the probability that phase ``j`` follows phase ``i`` at a dwell
+    #: expiry (self-transitions allowed).  When omitted, the next phase is
+    #: drawn from the stationary ``weights`` regardless of the current one.
+    transitions: Optional[List[List[float]]] = None
+
+    def __post_init__(self):
+        if not self.entries:
+            raise ValueError("a PhaseMix needs at least one phase type")
+        names = [p.name for p, _ in self.entries]
+        if len(set(names)) != len(names):
+            raise ValueError("phase type names within a mix must be unique")
+        if any(w <= 0 for _, w in self.entries):
+            raise ValueError("phase weights must be positive")
+        if self.transitions is not None:
+            k = len(self.entries)
+            if len(self.transitions) != k or any(
+                len(row) != k for row in self.transitions
+            ):
+                raise ValueError(
+                    f"transition matrix must be {k}x{k} to match the phases"
+                )
+            for row in self.transitions:
+                if any(p < 0 for p in row):
+                    raise ValueError("transition probabilities must be >= 0")
+                if abs(sum(row) - 1.0) > 1e-6:
+                    raise ValueError("each transition row must sum to 1")
+
+    @property
+    def phase_types(self) -> List[PhaseType]:
+        return [p for p, _ in self.entries]
+
+    @property
+    def weights(self) -> List[float]:
+        return [w for _, w in self.entries]
+
+
+# ---------------------------------------------------------------------------
+# Phase-type factory helpers — the vocabulary the workload profiles are
+# built from.  Keyword overrides let profiles fine-tune a template.
+# ---------------------------------------------------------------------------
+
+
+def _make(name: str, base: dict, **overrides) -> PhaseType:
+    params = dict(base)
+    params.update(overrides)
+    return PhaseType(name=name, **params)
+
+
+def wide_ilp_phase(name: str = "wide_ilp", **overrides) -> PhaseType:
+    """Abundant independent integer work; rewards wide, fast cores."""
+    base = dict(
+        load_frac=0.16,
+        store_frac=0.06,
+        branch_frac=0.10,
+        dep1_frac=0.45,
+        chain_frac=0.02,
+        dep_window=24,
+        two_src_frac=0.30,
+        branch_bias=0.97,
+        footprint=48 * 1024,
+        seq_frac=0.75,
+        stride=16,
+        body_size=128,
+        mean_dwell=350,
+    )
+    return _make(name, base, **overrides)
+
+
+def serial_chain_phase(name: str = "serial_chain", **overrides) -> PhaseType:
+    """Long ALU dependence chains; rewards zero wakeup latency and a short
+    issue-to-issue loop, regardless of width."""
+    base = dict(
+        load_frac=0.10,
+        store_frac=0.04,
+        branch_frac=0.08,
+        dep1_frac=0.95,
+        chain_frac=0.85,
+        dep_window=3,
+        two_src_frac=0.20,
+        branch_bias=0.96,
+        footprint=16 * 1024,
+        seq_frac=0.8,
+        stride=8,
+        body_size=64,
+        mean_dwell=280,
+    )
+    return _make(name, base, **overrides)
+
+
+def pointer_chase_phase(name: str = "pointer_chase", **overrides) -> PhaseType:
+    """Serially dependent loads over a footprint; performance is dominated by
+    the average load latency, i.e. by which cache level holds the footprint."""
+    base = dict(
+        load_frac=0.34,
+        store_frac=0.04,
+        branch_frac=0.10,
+        dep1_frac=0.50,
+        chain_frac=0.30,
+        dep_window=4,
+        two_src_frac=0.15,
+        branch_bias=0.94,
+        footprint=2 * 1024 * 1024,
+        seq_frac=0.05,
+        stride=8,
+        pointer_chase=True,
+        body_size=48,
+        mean_dwell=320,
+    )
+    return _make(name, base, **overrides)
+
+
+def windowed_mem_phase(name: str = "windowed_mem", **overrides) -> PhaseType:
+    """Independent scattered loads; rewards a large instruction window that
+    can overlap many long-latency misses (memory-level parallelism)."""
+    base = dict(
+        load_frac=0.30,
+        store_frac=0.06,
+        branch_frac=0.08,
+        dep1_frac=0.40,
+        chain_frac=0.03,
+        dep_window=28,
+        two_src_frac=0.25,
+        branch_bias=0.96,
+        footprint=1536 * 1024,
+        seq_frac=0.10,
+        stride=8,
+        body_size=96,
+        mean_dwell=380,
+    )
+    return _make(name, base, **overrides)
+
+
+def stream_phase(name: str = "stream", **overrides) -> PhaseType:
+    """Sequential strided access; rewards large cache blocks (spatial
+    locality) and modest windows."""
+    base = dict(
+        load_frac=0.30,
+        store_frac=0.12,
+        branch_frac=0.08,
+        dep1_frac=0.55,
+        chain_frac=0.10,
+        dep_window=12,
+        two_src_frac=0.25,
+        branch_bias=0.98,
+        footprint=384 * 1024,
+        seq_frac=0.95,
+        stride=8,
+        body_size=64,
+        mean_dwell=400,
+    )
+    return _make(name, base, **overrides)
+
+
+def branchy_phase(name: str = "branchy", **overrides) -> PhaseType:
+    """Branch-dense control flow; the bias parameter sets predictability and
+    thereby how much the front-end depth (redirect penalty) hurts."""
+    base = dict(
+        load_frac=0.16,
+        store_frac=0.06,
+        branch_frac=0.24,
+        dep1_frac=0.60,
+        chain_frac=0.20,
+        dep_window=8,
+        two_src_frac=0.30,
+        n_static_branches=24,
+        branch_bias=0.88,
+        footprint=32 * 1024,
+        seq_frac=0.5,
+        stride=8,
+        body_size=160,
+        mean_dwell=260,
+    )
+    return _make(name, base, **overrides)
+
+
+def compute_mul_phase(name: str = "compute_mul", **overrides) -> PhaseType:
+    """Multiply-heavy arithmetic with moderate ILP."""
+    base = dict(
+        load_frac=0.12,
+        store_frac=0.05,
+        branch_frac=0.08,
+        imul_frac=0.14,
+        dep1_frac=0.70,
+        chain_frac=0.25,
+        dep_window=10,
+        two_src_frac=0.40,
+        branch_bias=0.97,
+        footprint=24 * 1024,
+        seq_frac=0.7,
+        stride=8,
+        body_size=80,
+        mean_dwell=300,
+    )
+    return _make(name, base, **overrides)
+
+
+#: The canonical phase-template vocabulary, for documentation and tests.
+PHASE_TEMPLATES: Sequence[str] = (
+    "wide_ilp",
+    "serial_chain",
+    "pointer_chase",
+    "windowed_mem",
+    "stream",
+    "branchy",
+    "compute_mul",
+)

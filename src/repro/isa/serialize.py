@@ -1,0 +1,95 @@
+"""Trace serialization: save and reload generated traces.
+
+Traces are deterministic given (profile, length, seed), but generation of
+large traces is not free and downstream users may want to archive the exact
+traces behind a result.  The format is a compact single-file binary:
+a JSON header line (name, seed, length, phase starts, format version)
+followed by six little-endian arrays (op, pc, dep1, dep2, addr, taken).
+"""
+
+import json
+from array import array
+from pathlib import Path
+from typing import Union
+
+from repro.isa.instructions import Instr
+from repro.isa.trace import Trace
+
+#: bump when the on-disk layout changes
+FORMAT_VERSION = 1
+
+_MAGIC = b"RTRC"
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (overwrites)."""
+    n = len(trace)
+    ops = array("B", (i.op for i in trace))
+    pcs = array("q", (i.pc for i in trace))
+    dep1 = array("q", (i.dep1 for i in trace))
+    dep2 = array("q", (i.dep2 for i in trace))
+    addr = array("q", (i.addr for i in trace))
+    taken = array("B", (1 if i.taken else 0 for i in trace))
+    header = json.dumps(
+        {
+            "version": FORMAT_VERSION,
+            "name": trace.name,
+            "seed": trace.seed,
+            "length": n,
+            "phase_starts": trace.phase_starts,
+        }
+    ).encode()
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(len(header).to_bytes(4, "little"))
+        fh.write(header)
+        for arr in (ops, pcs, dep1, dep2, addr, taken):
+            if arr.itemsize > 1 and __import__("sys").byteorder == "big":
+                arr = array(arr.typecode, arr)
+                arr.byteswap()
+            fh.write(arr.tobytes())
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with open(path, "rb") as fh:
+        magic = fh.read(4)
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: not a trace file (bad magic)")
+        header_len = int.from_bytes(fh.read(4), "little")
+        header = json.loads(fh.read(header_len).decode())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace format version "
+                f"{header.get('version')!r}"
+            )
+        n = header["length"]
+        ops = array("B")
+        ops.frombytes(fh.read(n))
+        arrays = []
+        for _ in range(4):
+            arr = array("q")
+            arr.frombytes(fh.read(n * arr.itemsize))
+            if __import__("sys").byteorder == "big":
+                arr.byteswap()
+            arrays.append(arr)
+        taken = array("B")
+        taken.frombytes(fh.read(n))
+    pcs, dep1, dep2, addr = arrays
+    instructions = [
+        Instr(
+            op=ops[i],
+            pc=pcs[i],
+            dep1=dep1[i],
+            dep2=dep2[i],
+            addr=addr[i],
+            taken=bool(taken[i]),
+        )
+        for i in range(n)
+    ]
+    return Trace(
+        name=header["name"],
+        instructions=instructions,
+        seed=header["seed"],
+        phase_starts=header["phase_starts"],
+    )

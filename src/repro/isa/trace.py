@@ -1,0 +1,77 @@
+"""Trace container with region iteration and summary statistics."""
+
+from typing import Dict, Iterator, List, Sequence
+
+from repro.isa.instructions import Instr, OpClass
+
+
+class Trace:
+    """An ordered sequence of dynamic instructions plus provenance metadata.
+
+    Traces are immutable by convention once generated; the simulators never
+    mutate instructions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: Sequence[Instr],
+        seed: int = 0,
+        phase_starts: Sequence[int] = (),
+    ):
+        if not instructions:
+            raise ValueError("a trace must contain at least one instruction")
+        self.name = name
+        self.instructions: List[Instr] = list(instructions)
+        self.seed = seed
+        #: indices at which a new fine-grain phase begins (diagnostics only)
+        self.phase_starts: List[int] = list(phase_starts)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instr:
+        return self.instructions[index]
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instructions)
+
+    def regions(self, size: int) -> Iterator[List[Instr]]:
+        """Yield consecutive regions of ``size`` instructions.
+
+        The final region may be shorter.  Region granularity is the unit of
+        the paper's Section-2 oracle-switching analysis (20 instructions and
+        doublings thereof).
+        """
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        for start in range(0, len(self.instructions), size):
+            yield self.instructions[start : start + size]
+
+    def op_histogram(self) -> Dict[OpClass, int]:
+        """Count of dynamic instructions per op class."""
+        counts: Dict[OpClass, int] = {op: 0 for op in OpClass}
+        for instr in self.instructions:
+            counts[OpClass(instr.op)] += 1
+        return counts
+
+    def memory_footprint(self, block: int = 64) -> int:
+        """Number of distinct ``block``-byte blocks touched by memory ops."""
+        if block <= 0:
+            raise ValueError("block size must be positive")
+        blocks = {
+            instr.addr // block
+            for instr in self.instructions
+            if instr.is_mem
+        }
+        return len(blocks)
+
+    def branch_count(self) -> int:
+        """Number of dynamic conditional branches."""
+        return sum(1 for i in self.instructions if i.op == OpClass.BRANCH)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, len={len(self)}, seed={self.seed}, "
+            f"phases={len(self.phase_starts)})"
+        )

@@ -1,0 +1,364 @@
+"""Workload profiles for the eleven SPEC2000 integer benchmarks.
+
+The paper's traces are 100M-instruction SimPoints of SPEC2000int compiled for
+SimpleScalar.  We substitute one synthetic :class:`PhaseMix` per benchmark,
+calibrated against the Appendix-A core palette so that
+
+* each benchmark achieves its best whole-trace IPT on its own customised
+  core (the paper's Appendix-A matrix has this diagonal-dominance property),
+* a balanced large-cache core anchors the homogeneous (HOM) design the way
+  the gcc core does in the paper (in this substrate the twolf, bzip and gcc
+  cores are near-tied at the top of the average/harmonic-mean rankings; the
+  experiments compute HOM as the argmax, as the paper's methodology does),
+  and
+* every profile carries minority phases that favour *other* cores — the
+  fine-grain headroom contesting exploits (Section 2).
+
+Calibration was done empirically: each phase template was run standalone on
+all eleven cores (a phase-to-core affinity scan) and profiles were composed
+from phases whose affinity anchors the target core, plus contrasting
+minority phases.  The calibration invariants are enforced by
+``tests/calibration``.
+
+Phase-vocabulary notes (what anchors what, in this timing model):
+
+* pure ALU dependence chains reward the two zero-wakeup-latency cores; the
+  mcf core has the faster clock of the two (0.45 vs 0.49ns), so strictly
+  serial code is *mcf's* anchor while chains mixed with small-footprint
+  loads are *bzip's* (its 2-cycle L1 vs mcf's 5-cycle).
+* near-independent instruction streams are *crafty's* anchor: its 8-wide
+  0.19ns pipe wins exactly when the 64-entry ROB's residency stays short.
+* latency-tolerant ILP with real dependence structure is *perl's* anchor
+  (same clock as crafty but a 256-entry ROB).
+* pointer chasing is won by whichever core holds the footprint closest to
+  the pipeline: 12KB -> gap's fast small L1, ~110KB -> parser's 128KB
+  3-cycle L1, ~300KB -> gzip's fast 512KB L2, ~1MB -> gcc's hierarchy.
+* scattered windowed loads reward window+MSHRs and the cache tier that
+  bounds the footprint: ~200KB -> vortex, ~600KB -> twolf, ~1.5MB -> vpr.
+"""
+
+from typing import Dict, List
+
+from repro.isa.phases import (
+    PhaseMix,
+    PhaseType,
+    branchy_phase,
+    compute_mul_phase,
+    pointer_chase_phase,
+    serial_chain_phase,
+    stream_phase,
+    wide_ilp_phase,
+    windowed_mem_phase,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+#: Multiplier applied to every phase template's mean dwell when building the
+#: benchmark profiles (see the note at the end of ``_profiles``).
+DWELL_SCALE = 3
+
+#: Benchmark names in the paper's order (eon is excluded in the paper too).
+BENCHMARKS = (
+    "bzip",
+    "crafty",
+    "gap",
+    "gcc",
+    "gzip",
+    "mcf",
+    "parser",
+    "perl",
+    "twolf",
+    "vortex",
+    "vpr",
+)
+
+
+# --- shared, calibrated phase instances ------------------------------------
+# Several benchmarks share a template instantiation (with its own name per
+# profile); the factory functions below centralise the calibrated parameters.
+
+
+def _pure_serial(name: str, **kw) -> PhaseType:
+    """Strictly serial ALU chains: the mcf-core anchor (fast 0-wakeup clock)."""
+    base = dict(
+        load_frac=0.005,
+        store_frac=0.015,
+        branch_frac=0.04,
+        chain_frac=0.985,
+        dep1_frac=0.98,
+        footprint=8 * KB,
+        branch_bias=0.985,
+        taken_frac=0.4,
+    )
+    base.update(kw)
+    return serial_chain_phase(name, **base)
+
+
+def _serial_ld(name: str, **kw) -> PhaseType:
+    """Serial chains mixed with small-footprint loads: the bzip-core anchor."""
+    base = dict(load_frac=0.14, footprint=40 * KB)
+    base.update(kw)
+    return serial_chain_phase(name, **base)
+
+
+def _ilp_pure(name: str, **kw) -> PhaseType:
+    """Near-independent scheduled code: the crafty-core anchor."""
+    base = dict(
+        dep1_frac=0.05,
+        two_src_frac=0.02,
+        dep_window=64,
+        load_frac=0.06,
+        store_frac=0.03,
+        branch_frac=0.06,
+        branch_bias=0.995,
+        taken_frac=0.05,
+        footprint=48 * KB,
+    )
+    base.update(kw)
+    return wide_ilp_phase(name, **base)
+
+
+def _ilp_sparse(name: str, **kw) -> PhaseType:
+    """Latency-tolerant ILP with real dependences: the perl-core anchor."""
+    base = dict(
+        dep1_frac=0.30,
+        dep_window=48,
+        taken_frac=0.15,
+        branch_bias=0.985,
+        footprint=80 * KB,
+    )
+    base.update(kw)
+    return wide_ilp_phase(name, **base)
+
+
+def _divwin(name: str) -> PhaseType:
+    """Divide-heavy window filler; rewards deep windows at a fast clock."""
+    return PhaseType(
+        name,
+        load_frac=0.08,
+        store_frac=0.03,
+        branch_frac=0.08,
+        idiv_frac=0.10,
+        dep1_frac=0.40,
+        dep_window=32,
+        two_src_frac=0.2,
+        branch_bias=0.97,
+        taken_frac=0.3,
+        footprint=12 * KB,
+        seq_frac=0.6,
+        body_size=96,
+        mean_dwell=300,
+    )
+
+
+def _chase(name: str, footprint: int, **kw) -> PhaseType:
+    base = dict(footprint=footprint, obj_words=2, zipf_skew=1.5)
+    base.update(kw)
+    return pointer_chase_phase(name, **base)
+
+
+def _win(name: str, footprint: int, **kw) -> PhaseType:
+    base = dict(footprint=footprint, obj_words=2, zipf_skew=1.5)
+    base.update(kw)
+    return windowed_mem_phase(name, **base)
+
+
+def _profiles() -> Dict[str, PhaseMix]:
+    profiles: Dict[str, PhaseMix] = {}
+
+    # Weights are chosen as (target instruction share) / (template dwell), so
+    # the dwell-weighted stationary shares land on the targets given in the
+    # comments.  Every profile pairs a dominant *anchor* (won by the
+    # benchmark's own core) with a *contrast* phase decisively won by a
+    # different core — the systematic fine-grain complementarity contesting
+    # exploits — plus minor flavour phases.
+
+    # bzip2 — serial arithmetic over small tables (anchor ~45%), table
+    # lookups, entropy coding, data-dependent branches, and scattered
+    # ~200KB object access (contrast: the vortex-style wide cores win it).
+    profiles["bzip"] = PhaseMix(
+        "bzip",
+        [
+            (_serial_ld("serial_ld"), 1.72),
+            (_chase("tables", 64 * KB), 0.63),
+            (compute_mul_phase("entropy"), 0.33),
+            (branchy_phase("data_branches", branch_bias=0.85), 0.38),
+            (_win("blocks", 200 * KB), 0.30),
+        ],
+    )
+
+    # crafty — unrolled bitboard ILP (anchor ~65%), latency-tolerant
+    # evaluation (contrast: perl's deep window wins it), predictable search
+    # control, hash-table probes.
+    profiles["crafty"] = PhaseMix(
+        "crafty",
+        [
+            (_ilp_pure("bitboards"), 4.6),
+            (_ilp_sparse("evaluate"), 1.1),
+            (branchy_phase("search", branch_bias=0.975, n_static_branches=48), 0.5),
+            (_chase("hash_tables", 110 * KB), 0.3),
+        ],
+    )
+
+    # gap — interpreter workspace chase (anchor ~55%), divide-heavy bignum
+    # kernels (contrast: perl), dispatch branches, multiplies.
+    profiles["gap"] = PhaseMix(
+        "gap",
+        [
+            (_chase("workspace", 12 * KB), 1.72),
+            (_divwin("bignum"), 0.67),
+            (branchy_phase("dispatch", branch_bias=0.91), 0.58),
+            (compute_mul_phase("arith"), 0.33),
+        ],
+    )
+
+    # gcc — IR pointer chase over ~1MB (anchor ~28%, and the dominant share
+    # of run *time*), block-strided sweeps, parsing branches, register
+    # allocation ILP, scattered symbol access (contrast: vpr/twolf).
+    profiles["gcc"] = PhaseMix(
+        "gcc",
+        [
+            (_chase("ir_walk", 1 * MB), 2.5),
+            (stream_phase("rtl_sweep", footprint=384 * KB, stride=48, taken_frac=0.25), 1.3),
+            (branchy_phase("parse", branch_bias=0.91), 1.2),
+            (wide_ilp_phase("regalloc", taken_frac=0.25), 1.0),
+            (_win("symbols", 3 * MB, zipf_skew=1.2), 0.4),
+            (_pure_serial("liveness"), 0.36),
+            (stream_phase("emit", footprint=128 * KB, stride=8, taken_frac=0.25), 0.5),
+        ],
+    )
+
+    # gzip — hash-table probing over ~300KB (anchor ~45%), match branches,
+    # window streaming, and tight unrolled CRC loops (contrast: crafty).
+    profiles["gzip"] = PhaseMix(
+        "gzip",
+        [
+            (_chase("hash_probe", 300 * KB), 1.41),
+            (branchy_phase("match", branch_bias=0.91), 0.77),
+            (stream_phase("window", footprint=128 * KB, stride=8, taken_frac=0.25), 0.38),
+            (_ilp_pure("crc"), 0.57),
+            (_pure_serial("huffman"), 0.43),
+        ],
+    )
+
+    # mcf — strictly serial arc-cost chains (anchor ~75%), scattered node
+    # access (contrast: gzip's fast L2 wins it), pivoting branches,
+    # divide-heavy cost kernels.
+    profiles["mcf"] = PhaseMix(
+        "mcf",
+        [
+            (_pure_serial("arc_chain"), 2.68),
+            (_chase("nodes", 300 * KB), 0.25),
+            (branchy_phase("pivoting", branch_bias=0.85), 0.35),
+            (_divwin("costs"), 0.27),
+        ],
+    )
+
+    # parser — dictionary chase over ~110KB (anchor ~42%), sentence
+    # streaming, tight morphology loops (contrast: crafty), linked lookups,
+    # rule branches.
+    profiles["parser"] = PhaseMix(
+        "parser",
+        [
+            (_chase("dictionary", 110 * KB), 1.31),
+            (stream_phase("sentence", footprint=128 * KB, stride=8, taken_frac=0.25), 0.45),
+            (_ilp_pure("morphology"), 0.46),
+            (_chase("links", 64 * KB), 0.38),
+            (branchy_phase("rules", branch_bias=0.91), 0.46),
+            (_pure_serial("count_chain"), 0.36),
+            (stream_phase("affix_scan", footprint=384 * KB, stride=48, taken_frac=0.25), 0.15),
+        ],
+    )
+
+    # perl — latency-tolerant opcode ILP (anchor), divide-heavy numerics,
+    # dispatch branches, small symbol chase (contrast: bzip/gzip serial-ish
+    # regions favour the slow-clock cores).
+    profiles["perl"] = PhaseMix(
+        "perl",
+        [
+            (_ilp_sparse("oploop"), 3.0),
+            (_divwin("numeric"), 2.0),
+            (branchy_phase("dispatch", branch_bias=0.975, n_static_branches=48), 1.0),
+            (_chase("symbols", 12 * KB), 0.4),
+        ],
+    )
+
+    # twolf — dense cell-array sweeps (anchor ~34%), scattered ~600KB cost
+    # lookups, accept/reject branches, serial cost accumulation (contrast:
+    # bzip), coarse netlist sweeps.
+    profiles["twolf"] = PhaseMix(
+        "twolf",
+        [
+            (stream_phase("cells", footprint=128 * KB, stride=8, taken_frac=0.25), 0.85),
+            (_win("costs", 600 * KB), 0.63),
+            (branchy_phase("anneal", branch_bias=0.85), 0.54),
+            (_serial_ld("accum"), 0.57),
+            (stream_phase("nets", footprint=3 * MB, stride=192, taken_frac=0.25), 0.30),
+        ],
+    )
+
+    # vortex — scattered object access over ~200KB (anchor ~45%), manager
+    # ILP and validation numerics (contrast: perl), journal streaming.
+    profiles["vortex"] = PhaseMix(
+        "vortex",
+        [
+            (_win("objects", 200 * KB), 1.18),
+            (_ilp_sparse("managers"), 0.71),
+            (_divwin("validate"), 0.60),
+            (stream_phase("journal", footprint=128 * KB, stride=8, taken_frac=0.25), 0.30),
+        ],
+    )
+
+    # vpr — scattered routing-resource lookups over ~1.5MB (anchor ~42%),
+    # predictable route loops, timing multiplies, inner-loop ILP (contrast:
+    # twolf/gcc trade blows on the lookups; perl on the ILP).
+    profiles["vpr"] = PhaseMix(
+        "vpr",
+        [
+            (_win("rr_graph", 1536 * KB), 1.11),
+            (branchy_phase("route", branch_bias=0.975, n_static_branches=48), 0.77),
+            (compute_mul_phase("timing"), 0.60),
+            (wide_ilp_phase("inner", taken_frac=0.25), 0.57),
+            (_pure_serial("accumulate"), 0.36),
+        ],
+    )
+
+    # All phases of a benchmark operate on the same data region ("heap"):
+    # a program's phases revisit the same structures, so the cache working
+    # set is shared rather than one disjoint region per phase.  (Phases keep
+    # private PC regions for the branch predictor.)
+    #
+    # Phase dwells are scaled so the typical contiguous phase run is
+    # ~800-1300 instructions.  This matches the paper's Figure-1 knee (most
+    # oracle-switching benefit is gone by the 1280-instruction granularity,
+    # i.e. real phase runs are of that order) and it is the regime in which
+    # leadership can actually transfer: a phase run must outlast the losing
+    # core's in-flight window before the winning core's retirement passes
+    # the loser's fetch point (Section 4.1.4's lagging-distance argument).
+    from dataclasses import replace
+
+    for mix in profiles.values():
+        mix.entries = [
+            (replace(p, region="heap", mean_dwell=p.mean_dwell * DWELL_SCALE), w)
+            for p, w in mix.entries
+        ]
+    return profiles
+
+
+_PROFILES = _profiles()
+
+
+def workload_profile(name: str) -> PhaseMix:
+    """Return the phase mixture for a benchmark (see :data:`BENCHMARKS`)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {', '.join(BENCHMARKS)}"
+        ) from None
+
+
+def all_profiles() -> List[PhaseMix]:
+    """All benchmark profiles in the paper's order."""
+    return [workload_profile(b) for b in BENCHMARKS]

@@ -1,0 +1,31 @@
+"""Energy accounting for standalone and contested execution.
+
+The paper positions contesting as a *need-to-have* mode: "like other
+redundant threading architectures, it can be employed on a need-to-have
+basis, providing robustness in how resources are employed (throughput or
+single-thread performance) and how performance and power are balanced"
+(Section 1).  Quantifying that balance needs an energy model; this package
+provides an event-based one in the Wattch tradition: per-event energies
+scale with the sizes of the structures involved (and quadratically with
+issue width for the bypass/scheduling logic), plus a leakage term
+proportional to area and time.
+
+Nothing here affects timing — the model consumes the statistics a run
+already produces.  The headline derived metrics are the energy ratio of
+contesting vs the best single core and the energy-delay product, reported
+by the ``ext_energy`` extension experiment.
+"""
+
+from repro.power.model import (
+    EnergyBreakdown,
+    EnergyModel,
+    contest_energy,
+    standalone_energy,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "contest_energy",
+    "standalone_energy",
+]

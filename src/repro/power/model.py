@@ -1,0 +1,205 @@
+"""An event-based energy model in the Wattch tradition.
+
+Per-event energies (picojoules) scale with the capacity of the structure
+involved; dynamic totals are computed from run statistics, and a leakage
+term charges area × time.  Constants are 70nm-plausible round numbers —
+the *ratios* between configurations (and between contesting and standalone
+execution) are the quantities of interest, as with the timing model.
+
+Event inventory per committed instruction:
+
+* front end: fetch + decode + predictor read (per instruction),
+* rename/dispatch: ROB and IQ write (scaled by their sizes),
+* issue/execute: IQ wakeup+select (size- and width-scaled), FU energy by
+  op class, bypass network (width-squared),
+* memory: L1/L2/DRAM access energies by capacity, per the cache statistics,
+* commit: ROB read, architectural state update.
+
+Contesting adds: GRB drivers per broadcast result, result-FIFO pushes and
+pops at the receivers, and the redundant work of every active core.
+Injected instructions skip execution (no FU, no IQ wakeup, no cache access)
+but still pay front-end, rename and commit energy — exactly the paper's
+"completed early in the fetch/rename stage" semantics.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.system import ContestResult
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import RunStats
+from repro.uarch.run import StandaloneResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Tunable per-event energy coefficients (picojoules)."""
+
+    fetch_pj: float = 2.0            # per instruction through the front end
+    predictor_pj: float = 0.8        # per branch lookup/update
+    rename_pj_base: float = 1.0      # ROB/IQ insertion, scaled by sizes
+    wakeup_pj_base: float = 0.6      # IQ wakeup/select, scaled by size*width
+    fu_pj: float = 3.0               # per executed (non-injected) instruction
+    bypass_pj_per_width2: float = 0.08
+    l1_pj_per_kb_log: float = 1.2    # per access, scaled by log2(KB)
+    l2_pj_per_kb_log: float = 2.5
+    dram_pj: float = 220.0           # per DRAM access
+    commit_pj: float = 1.2
+    grb_pj_per_ns_latency: float = 0.5   # wire energy grows with distance
+    fifo_pj: float = 0.4             # per result-FIFO push or pop
+    #: leakage power per core in mW per "area unit" (see _area_units)
+    leakage_mw_per_unit: float = 0.04
+
+    def _area_units(self, config: CoreConfig) -> float:
+        """Relative core area: windows + caches + width-quadratic logic."""
+        cache_kb = (config.l1.size_bytes + config.l2.size_bytes) / 1024.0
+        return (
+            config.rob_size / 64.0
+            + config.iq_size / 32.0
+            + config.lsq_size / 64.0
+            + cache_kb / 64.0
+            + config.width ** 2 / 4.0
+        )
+
+    def _per_instr_pj(self, config: CoreConfig, injected_fraction: float,
+                      branch_fraction: float) -> float:
+        rename = self.rename_pj_base * (
+            1.0 + 0.15 * math.log2(config.rob_size / 32.0)
+        )
+        wakeup = self.wakeup_pj_base * (config.iq_size / 32.0) * config.width
+        bypass = self.bypass_pj_per_width2 * config.width ** 2
+        executed = 1.0 - injected_fraction
+        return (
+            self.fetch_pj
+            + self.predictor_pj * branch_fraction
+            + rename
+            + executed * (wakeup + self.fu_pj + bypass)
+            + self.commit_pj
+        )
+
+@dataclass
+class EnergyBreakdown:
+    """Energy totals (nanojoules) with a per-component split."""
+
+    dynamic_nj: float
+    leakage_nj: float
+    grb_nj: float = 0.0
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.leakage_nj + self.grb_nj
+
+    def energy_delay(self, time_ns: float) -> float:
+        """Energy-delay product (nJ·ns)."""
+        return self.total_nj * time_ns
+
+
+def _core_energy(
+    model: EnergyModel,
+    config: CoreConfig,
+    stats: RunStats,
+    l1_accesses: int,
+    l1_misses: int,
+    l2_misses: int,
+    time_ns: float,
+) -> EnergyBreakdown:
+    committed = max(1, stats.committed)
+    injected_fraction = stats.injected / committed
+    branch_fraction = stats.branches / committed
+    per_instr = model._per_instr_pj(config, injected_fraction, branch_fraction)
+
+    l1_kb = max(1.0, config.l1.size_bytes / 1024.0)
+    l2_kb = max(1.0, config.l2.size_bytes / 1024.0)
+    l1_pj = model.l1_pj_per_kb_log * math.log2(1 + l1_kb)
+    l2_pj = model.l2_pj_per_kb_log * math.log2(1 + l2_kb)
+
+    pipeline_pj = per_instr * committed
+    memory_pj = (
+        l1_pj * l1_accesses + l2_pj * l1_misses + model.dram_pj * l2_misses
+    )
+    leakage_nj = (
+        model.leakage_mw_per_unit * model._area_units(config) * time_ns
+    ) / 1000.0  # mW * ns = pJ; /1000 -> nJ
+
+    return EnergyBreakdown(
+        dynamic_nj=(pipeline_pj + memory_pj) / 1000.0,
+        leakage_nj=leakage_nj,
+        components={
+            "pipeline_nj": pipeline_pj / 1000.0,
+            "memory_nj": memory_pj / 1000.0,
+        },
+    )
+
+
+def standalone_energy(
+    result: StandaloneResult,
+    config: CoreConfig,
+    model: EnergyModel = EnergyModel(),
+    l1_accesses: int = 0,
+    l1_misses: int = 0,
+    l2_misses: int = 0,
+) -> EnergyBreakdown:
+    """Energy of one standalone run.
+
+    Cache event counts default to mix-derived estimates when not supplied
+    (the runner does not retain the hierarchy object).
+    """
+    if l1_accesses == 0:
+        stats = result.stats
+        if stats.l1_accesses:
+            l1_accesses = stats.l1_accesses
+            l1_misses = stats.l1_misses
+            l2_misses = stats.l2_misses
+        else:
+            l1_accesses = int(0.3 * result.instructions)  # mix estimate
+            l1_misses = int(0.1 * l1_accesses)
+            l2_misses = int(0.3 * l1_misses)
+    return _core_energy(
+        model, config, result.stats,
+        l1_accesses, l1_misses, l2_misses,
+        result.time_ps / 1000.0,
+    )
+
+
+def contest_energy(
+    result: ContestResult,
+    configs: Dict[str, CoreConfig],
+    model: EnergyModel = EnergyModel(),
+    grb_latency_ns: float = 1.0,
+) -> EnergyBreakdown:
+    """Energy of a contested run: every core's work plus the GRBs/FIFOs.
+
+    ``configs`` maps the ``per_core`` keys (``"<id>:<name>"`` or plain
+    names) to their configurations.
+    """
+    time_ns = result.time_ps / 1000.0
+    total = EnergyBreakdown(dynamic_nj=0.0, leakage_nj=0.0)
+    broadcasts = 0
+    for key, stats in result.per_core.items():
+        name = key.split(":", 1)[-1]
+        config = configs.get(key) or configs[name]
+        if stats.l1_accesses:
+            l1_accesses = stats.l1_accesses
+            l1_misses = stats.l1_misses
+            l2_misses = stats.l2_misses
+        else:
+            l1_accesses = int(0.3 * stats.committed)  # mix estimate
+            l1_misses = int(0.1 * l1_accesses)
+            l2_misses = int(0.3 * l1_misses)
+        core = _core_energy(
+            model, config, stats, l1_accesses, l1_misses, l2_misses, time_ns
+        )
+        total.dynamic_nj += core.dynamic_nj
+        total.leakage_nj += core.leakage_nj
+        for comp, value in core.components.items():
+            total.components[f"{name}.{comp}"] = value
+        broadcasts += stats.committed
+    # each broadcast drives one GRB to (n-1) sinks and enters their FIFOs
+    sinks = max(1, len(result.per_core) - 1)
+    grb_pj = broadcasts * sinks * (
+        model.grb_pj_per_ns_latency * grb_latency_ns + 2 * model.fifo_pj
+    )
+    total.grb_nj = grb_pj / 1000.0
+    return total

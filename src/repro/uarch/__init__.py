@@ -1,0 +1,35 @@
+"""Cycle-stepped out-of-order core timing model (the sim-mase substitute).
+
+The model is trace-driven: wrong-path instructions are not simulated; a
+mispredicted branch stalls fetch until resolution and then pays the
+front-end refill depth.  Everything the contesting mechanism interacts with
+is modelled structurally — fetch/dispatch/issue/commit bandwidth, ROB / issue
+queue / LSQ occupancy, wakeup latency, scheduler depth, branch prediction and
+a two-level private cache hierarchy — and every core keeps its own clock
+domain in integer picoseconds so heterogeneous cores co-simulate exactly.
+"""
+
+from repro.uarch.branch import BimodalPredictor, GsharePredictor, HybridPredictor
+from repro.uarch.cache import Cache, CacheConfig, CacheHierarchy
+from repro.uarch.config import APPENDIX_A_CORES, CoreConfig, core_config
+from repro.uarch.core import Core, RunStats
+from repro.uarch.pipetrace import PipeTrace, TracingCore, pipetrace
+from repro.uarch.run import run_standalone
+
+__all__ = [
+    "APPENDIX_A_CORES",
+    "BimodalPredictor",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "Core",
+    "CoreConfig",
+    "GsharePredictor",
+    "HybridPredictor",
+    "PipeTrace",
+    "RunStats",
+    "TracingCore",
+    "core_config",
+    "pipetrace",
+    "run_standalone",
+]

@@ -1,0 +1,219 @@
+"""Core configurations, including the paper's Appendix-A palette.
+
+Appendix A of the paper publishes the eleven benchmark-customised core
+configurations found by the XpScalar simulated-annealing exploration in 70nm
+technology.  We adopt those configurations verbatim: memory latency (cycles),
+front-end depth, width, ROB/IQ/LSQ sizes, minimum wakeup latency, scheduler
+depth, clock period (ns), and both cache geometries with latencies.
+"""
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.uarch.cache import CacheConfig
+from repro.util.units import ns_to_ps
+
+#: Execution latencies in cycles by op class (IALU, IMUL, IDIV, ...).  Loads
+#: take the cache access latency instead; branches and stores take one cycle
+#: of address/condition generation.
+EXEC_LATENCY = {"IALU": 1, "IMUL": 3, "IDIV": 12, "BRANCH": 1, "STORE": 1}
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """A complete core configuration (one column of Appendix A).
+
+    ``frontend_depth`` is both the fetch-to-dispatch latency and the redirect
+    refill penalty after a branch misprediction.  ``sched_depth`` models the
+    scheduler/register-file pipeline between issue and execute.
+    ``awaken_latency`` is the paper's "minimum latency for awakening of
+    dependent instructions".
+    """
+
+    name: str
+    clock_period_ns: float
+    width: int                 # dispatch, issue and commit width
+    rob_size: int
+    iq_size: int
+    lsq_size: int
+    frontend_depth: int
+    sched_depth: int
+    awaken_latency: int
+    mem_latency: int           # cycles to memory beyond L2
+    l1: CacheConfig
+    l2: CacheConfig
+    predictor: str = "hybrid"
+    predictor_entries: int = 4096
+    fetch_queue: int = 0       # 0 -> derived: 2 * width * frontend_depth
+    #: limit-study knobs (not Appendix-A parameters): a perfect predictor
+    #: never mispredicts; perfect caches serve every load at L1-hit latency.
+    perfect_predictor: bool = False
+    perfect_caches: bool = False
+    #: optional fidelity knob: loads that hit an in-flight older store to
+    #: the same 8-byte word are forwarded from the LSQ at 1-cycle latency.
+    #: Off by default (the calibrated palette was tuned without it).
+    store_forwarding: bool = False
+    #: miss-status holding registers: maximum concurrent outstanding L1-miss
+    #: requests.  Not an Appendix-A parameter (the paper does not publish
+    #: it); 0 derives ``min(32, max(4, rob_size // 32))`` — a miss queue
+    #: sized with the instruction window, as a balanced design would be.  It
+    #: bounds memory-level parallelism the way sim-mase's finite miss queues
+    #: do.
+    mshrs: int = 0
+
+    def __post_init__(self):
+        if self.clock_period_ns <= 0:
+            raise ValueError("clock period must be positive")
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if self.rob_size < 2 or self.iq_size < 1 or self.lsq_size < 1:
+            raise ValueError("window structures must be non-trivial")
+        if self.frontend_depth < 1 or self.sched_depth < 0:
+            raise ValueError("frontend_depth >= 1, sched_depth >= 0 required")
+        if self.awaken_latency < 0 or self.mem_latency < 1:
+            raise ValueError("awaken_latency >= 0, mem_latency >= 1 required")
+
+    @property
+    def period_ps(self) -> int:
+        """Clock period in integer picoseconds (the global time base)."""
+        return ns_to_ps(self.clock_period_ns)
+
+    @property
+    def fetch_queue_size(self) -> int:
+        return self.fetch_queue or 2 * self.width * self.frontend_depth
+
+    @property
+    def mshr_count(self) -> int:
+        return self.mshrs or min(32, max(4, self.rob_size // 32))
+
+    @property
+    def peak_ips(self) -> float:
+        """Peak retirement rate in instructions per nanosecond.
+
+        Section 4.1.4: the peak retirement rate of any core must be
+        sustainable by every other core, otherwise a lagging core saturates.
+        """
+        return self.width / self.clock_period_ns
+
+    def with_l2(self, other: "CoreConfig") -> "CoreConfig":
+        """Clone this core with ``other``'s L2 cache (geometry and latency).
+
+        This is the Section 5.2.1 experiment that isolates the contribution
+        of L2-cache heterogeneity to the contesting speedup.
+        """
+        return replace(
+            self, name=f"{self.name}+l2({other.name})", l2=other.l2
+        )
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity for caching simulation results."""
+        return dataclasses.astuple(self)
+
+
+def _cache(assoc: int, block: int, sets: int, latency: int) -> CacheConfig:
+    return CacheConfig(assoc=assoc, block=block, sets=sets, latency=latency)
+
+
+def _core(
+    name: str,
+    mem: int,
+    fe_depth: int,
+    width: int,
+    rob: int,
+    iq: int,
+    awaken: int,
+    sched: int,
+    period: float,
+    l1: CacheConfig,
+    l2: CacheConfig,
+    lsq: int,
+) -> CoreConfig:
+    return CoreConfig(
+        name=name,
+        clock_period_ns=period,
+        width=width,
+        rob_size=rob,
+        iq_size=iq,
+        lsq_size=lsq,
+        frontend_depth=fe_depth,
+        sched_depth=sched,
+        awaken_latency=awaken,
+        mem_latency=mem,
+        l1=l1,
+        l2=l2,
+    )
+
+
+K = 1024
+
+#: The eleven benchmark-customised cores, verbatim from Appendix A.  A core
+#: type is named after the benchmark it was customised for.
+APPENDIX_A_CORES: Dict[str, CoreConfig] = {
+    "bzip": _core(
+        "bzip", mem=112, fe_depth=4, width=5, rob=512, iq=64, awaken=0,
+        sched=1, period=0.49,
+        l1=_cache(2, 32, 1 * K, 2), l2=_cache(4, 64, 8 * K, 15), lsq=128,
+    ),
+    "crafty": _core(
+        "crafty", mem=321, fe_depth=12, width=8, rob=64, iq=32, awaken=3,
+        sched=3, period=0.19,
+        l1=_cache(1, 8, 16 * K, 5), l2=_cache(16, 64, 128, 7), lsq=64,
+    ),
+    "gap": _core(
+        "gap", mem=173, fe_depth=6, width=4, rob=128, iq=32, awaken=1,
+        sched=1, period=0.33,
+        l1=_cache(1, 8, 2 * K, 2), l2=_cache(4, 256, 128, 4), lsq=256,
+    ),
+    "gcc": _core(
+        "gcc", mem=186, fe_depth=7, width=4, rob=256, iq=32, awaken=1,
+        sched=2, period=0.31,
+        l1=_cache(1, 8, 32 * K, 4), l2=_cache(8, 64, 1 * K, 6), lsq=256,
+    ),
+    "gzip": _core(
+        "gzip", mem=198, fe_depth=7, width=4, rob=64, iq=32, awaken=1,
+        sched=1, period=0.29,
+        l1=_cache(1, 128, 256, 3), l2=_cache(1, 128, 4 * K, 5), lsq=128,
+    ),
+    "mcf": _core(
+        "mcf", mem=120, fe_depth=4, width=3, rob=1024, iq=64, awaken=0,
+        sched=1, period=0.45,
+        l1=_cache(2, 128, 1 * K, 5), l2=_cache(4, 128, 8 * K, 27), lsq=64,
+    ),
+    "parser": _core(
+        "parser", mem=198, fe_depth=7, width=4, rob=512, iq=32, awaken=1,
+        sched=2, period=0.29,
+        l1=_cache(1, 64, 2 * K, 3), l2=_cache(8, 512, 32, 12), lsq=256,
+    ),
+    "perl": _core(
+        "perl", mem=321, fe_depth=12, width=5, rob=256, iq=32, awaken=3,
+        sched=4, period=0.19,
+        l1=_cache(1, 8, 2 * K, 3), l2=_cache(16, 64, 128, 7), lsq=128,
+    ),
+    "twolf": _core(
+        "twolf", mem=172, fe_depth=6, width=5, rob=512, iq=64, awaken=1,
+        sched=2, period=0.33,
+        l1=_cache(8, 64, 128, 3), l2=_cache(4, 128, 2 * K, 12), lsq=256,
+    ),
+    "vortex": _core(
+        "vortex", mem=213, fe_depth=8, width=7, rob=512, iq=32, awaken=2,
+        sched=4, period=0.27,
+        l1=_cache(4, 32, 1 * K, 5), l2=_cache(16, 128, 128, 6), lsq=256,
+    ),
+    "vpr": _core(
+        "vpr", mem=172, fe_depth=6, width=5, rob=256, iq=64, awaken=1,
+        sched=2, period=0.30,
+        l1=_cache(2, 32, 128, 2), l2=_cache(8, 128, 1 * K, 12), lsq=64,
+    ),
+}
+
+
+def core_config(name: str) -> CoreConfig:
+    """Look up an Appendix-A core type by the benchmark it is customised for."""
+    try:
+        return APPENDIX_A_CORES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown core type {name!r}; expected one of "
+            f"{', '.join(sorted(APPENDIX_A_CORES))}"
+        ) from None

@@ -1,0 +1,163 @@
+"""Per-instruction pipeline event tracing (a "pipetrace").
+
+The classic simulator debugging view: for every instruction, the cycle it
+was fetched, dispatched, issued, completed and committed, rendered as an
+ASCII timeline.  Essential for understanding *why* a core behaves as it
+does on a region — which instruction stalled the window, where a mispredict
+bubble sits, how injected instructions flow through a trailing core (they
+show dispatch->commit with no issue stage at all).
+
+Tracing wraps a :class:`~repro.uarch.core.Core` non-invasively: it snapshots
+architectural counters around each ``step()`` and reconstructs stage events
+from the core's public state transitions, so the timing model itself stays
+untouched.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import OpClass
+from repro.uarch.core import Core
+
+#: stage glyphs in the rendered timeline
+GLYPHS = {
+    "fetch": "F",
+    "dispatch": "D",
+    "issue": "I",
+    "complete": "C",
+    "commit": "R",   # retire
+}
+
+
+@dataclass
+class InstrTimeline:
+    """Stage cycles of one traced instruction (-1 = never reached)."""
+
+    seq: int
+    op: str
+    fetch: int = -1
+    dispatch: int = -1
+    issue: int = -1
+    complete: int = -1
+    commit: int = -1
+    injected: bool = False
+
+    def row(self, origin: int, width: int) -> str:
+        """Render this instruction's timeline as one Gantt row."""
+        cells = ["."] * width
+        for stage, glyph in GLYPHS.items():
+            cycle = getattr(self, stage)
+            if cycle >= 0:
+                index = cycle - origin
+                if 0 <= index < width:
+                    # later stages overwrite earlier ones in the same cycle
+                    cells[index] = glyph
+        marker = "*" if self.injected else " "
+        return f"{self.seq:>6}{marker}{self.op:<8}" + "".join(cells)
+
+
+@dataclass
+class PipeTrace:
+    """Collected timelines plus rendering."""
+
+    timelines: Dict[int, InstrTimeline] = field(default_factory=dict)
+    first_cycle: int = 0
+    last_cycle: int = 0
+
+    def render(
+        self, start_seq: int = 0, count: int = 32, max_width: int = 120
+    ) -> str:
+        """ASCII Gantt of ``count`` instructions from ``start_seq``.
+
+        Legend: F fetch, D dispatch, I issue, C complete, R retire;
+        a ``*`` after the sequence number marks an injected instruction.
+        """
+        rows = [
+            self.timelines[seq]
+            for seq in sorted(self.timelines)
+            if seq >= start_seq
+        ][:count]
+        if not rows:
+            return "(no instructions traced in that range)"
+        origin = min(t.fetch for t in rows if t.fetch >= 0)
+        span = max(
+            max(t.commit, t.complete, t.fetch) for t in rows
+        ) - origin + 1
+        width = min(span, max_width)
+        header = f"{'seq':>6} {'op':<8}" + f"cycles {origin}..{origin + width - 1}"
+        lines = [header]
+        lines += [t.row(origin, width) for t in rows]
+        lines.append("legend: F fetch  D dispatch  I issue  C complete  "
+                     "R retire  (* = injected)")
+        return "\n".join(lines)
+
+
+class TracingCore:
+    """Wraps a core; stepping it records per-instruction stage cycles."""
+
+    def __init__(self, core: Core, limit: int = 4096):
+        self.core = core
+        self.trace = PipeTrace()
+        self._limit = limit
+        self._prev_fetch = core.fetch_index
+        self._prev_commit = core.commit_count
+
+    def _timeline(self, seq: int) -> Optional[InstrTimeline]:
+        if seq in self.trace.timelines:
+            return self.trace.timelines[seq]
+        if len(self.trace.timelines) >= self._limit:
+            return None
+        instr = self.core.trace[seq]
+        timeline = InstrTimeline(seq=seq, op=OpClass(instr.op).name)
+        self.trace.timelines[seq] = timeline
+        return timeline
+
+    def step(self) -> None:
+        """Advance the wrapped core one cycle, recording stage events."""
+        core = self.core
+        cycle = core.cycle
+        core.step()
+
+        for seq in range(self._prev_fetch, core.fetch_index):
+            timeline = self._timeline(seq)
+            if timeline is not None:
+                timeline.fetch = cycle
+        self._prev_fetch = core.fetch_index
+
+        for seq in range(self._prev_commit, core.commit_count):
+            timeline = self.trace.timelines.get(seq)
+            if timeline is not None:
+                timeline.commit = cycle
+        self._prev_commit = core.commit_count
+
+        # dispatch / issue / complete are reconstructed from in-flight state
+        for seq, rec in core._inflight.items():
+            timeline = self.trace.timelines.get(seq)
+            if timeline is None:
+                continue
+            if timeline.dispatch < 0:
+                timeline.dispatch = cycle
+                timeline.injected = rec.injected
+            if rec.issued and timeline.issue < 0 and not rec.injected:
+                timeline.issue = cycle
+            if rec.completed and timeline.complete < 0:
+                timeline.complete = (
+                    rec.complete_cycle if rec.complete_cycle >= 0 else cycle
+                )
+
+        self.trace.last_cycle = core.cycle
+
+    def run(self, max_steps: int = 1_000_000) -> PipeTrace:
+        """Step the core to completion; return the collected trace."""
+        steps = 0
+        while not self.core.done:
+            self.step()
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("pipetrace run exceeded max_steps")
+        return self.trace
+
+
+def pipetrace(core: Core, limit: int = 4096) -> PipeTrace:
+    """Run ``core`` to completion under tracing and return the pipe trace."""
+    return TracingCore(core, limit=limit).run()

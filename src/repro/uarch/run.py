@@ -1,0 +1,73 @@
+"""Standalone (non-contesting) execution of a trace on one core."""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.trace import Trace
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import Core, RunStats
+
+
+@dataclass
+class StandaloneResult:
+    """Outcome of running one trace to completion on one core."""
+
+    config_name: str
+    trace_name: str
+    instructions: int
+    cycles: int
+    time_ps: int
+    stats: RunStats
+    region_times_ps: List[int]
+
+    @property
+    def ipt(self) -> float:
+        """Instructions per nanosecond — the paper's performance metric."""
+        return self.instructions * 1000.0 / self.time_ps
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (frequency-blind; diagnostics only)."""
+        return self.instructions / self.cycles
+
+
+def run_standalone(
+    config: CoreConfig,
+    trace: Trace,
+    region_size: int = 0,
+    max_cycles: int = 0,
+    prewarm: bool = True,
+) -> StandaloneResult:
+    """Execute ``trace`` to completion on a core built from ``config``.
+
+    Parameters
+    ----------
+    region_size:
+        If non-zero, log elapsed time at every ``region_size``-th retirement
+        (used by the Section-2 oracle switching analysis).
+    max_cycles:
+        Safety bound; 0 derives a generous limit from the trace length.
+        Exceeding it raises ``RuntimeError`` (it indicates a model bug, not a
+        slow workload).
+    """
+    core = Core(config, trace, region_size=region_size, prewarm=prewarm)
+    limit = max_cycles or (len(trace) * (config.mem_latency + 64) + 100_000)
+    while not core.done:
+        core.step()
+        if core.cycle > limit:
+            raise RuntimeError(
+                f"core {config.name} exceeded {limit} cycles on trace "
+                f"{trace.name}: likely a pipeline deadlock"
+            )
+    core.stats.l1_accesses = core.hierarchy.l1.accesses
+    core.stats.l1_misses = core.hierarchy.l1.misses
+    core.stats.l2_misses = core.hierarchy.l2.misses
+    return StandaloneResult(
+        config_name=config.name,
+        trace_name=trace.name,
+        instructions=len(trace),
+        cycles=core.cycle,
+        time_ps=core.time_ps,
+        stats=core.stats,
+        region_times_ps=list(core.stats.region_times_ps),
+    )

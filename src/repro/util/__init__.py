@@ -1,0 +1,37 @@
+"""Shared utilities: statistics, deterministic RNG streams, units, tables.
+
+These helpers are deliberately dependency-free so every other subpackage can
+import them without pulling in simulation machinery.
+"""
+
+from repro.util.rng import SeedSequence, substream
+from repro.util.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    percent_change,
+    speedup,
+    weighted_harmonic_mean,
+)
+from repro.util.sparkline import labelled_sparkline, sparkline
+from repro.util.tables import format_series, format_table
+from repro.util.units import NS, PS_PER_NS, ns_to_ps, ps_to_ns
+
+__all__ = [
+    "NS",
+    "PS_PER_NS",
+    "SeedSequence",
+    "arithmetic_mean",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "labelled_sparkline",
+    "ns_to_ps",
+    "percent_change",
+    "ps_to_ns",
+    "sparkline",
+    "speedup",
+    "substream",
+    "weighted_harmonic_mean",
+]

@@ -1,0 +1,44 @@
+"""Unicode sparklines for terminal figure rendering.
+
+The experiment harness prints figures as numeric series; a sparkline gives
+the shape at a glance (the decay of Figure 1, the erosion of Figure 8)
+without any plotting dependency.
+"""
+
+from typing import Sequence
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a fixed-height unicode bar string.
+
+    An empty input returns an empty string; a constant series renders at
+    mid-height.
+    """
+    items = [float(v) for v in values]
+    if not items:
+        return ""
+    lo = min(items)
+    hi = max(items)
+    if hi == lo:
+        return _BARS[3] * len(items)
+    span = hi - lo
+    out = []
+    for v in items:
+        index = int((v - lo) / span * (len(_BARS) - 1))
+        out.append(_BARS[index])
+    return "".join(out)
+
+
+def labelled_sparkline(
+    name: str, values: Sequence[float], width: int = 10
+) -> str:
+    """``name [spark] min..max`` one-liner."""
+    items = [float(v) for v in values]
+    if not items:
+        return f"{name.ljust(width)} (empty)"
+    return (
+        f"{name.ljust(width)} {sparkline(items)} "
+        f"{min(items):.2f}..{max(items):.2f}"
+    )

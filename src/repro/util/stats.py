@@ -1,0 +1,75 @@
+"""Summary statistics used by the figures of merit and the experiments.
+
+The paper reports performance as IPT (instructions per time unit) and
+aggregates it with arithmetic and harmonic means (Section 6.1); the
+contention-weighted harmonic mean divides each benchmark's IPT by the number
+of benchmarks sharing its preferred core before taking the harmonic mean.
+"""
+
+import math
+from typing import Iterable, Sequence
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain average. Raises ValueError on an empty input."""
+    items = list(values)
+    if not items:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return sum(items) / len(items)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; the paper's figure of merit for total execution time.
+
+    All values must be strictly positive — a zero IPT would mean an infinite
+    run time, which the simulator never produces.
+    """
+    items = list(values)
+    if not items:
+        raise ValueError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("harmonic_mean requires strictly positive values")
+    return len(items) / sum(1.0 / v for v in items)
+
+
+def weighted_harmonic_mean(
+    values: Sequence[float], weights: Sequence[float]
+) -> float:
+    """Harmonic mean with importance weights (Section 6.1).
+
+    Weights model the relative submission frequency of each workload type.
+    """
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    if not values:
+        raise ValueError("weighted_harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("weighted_harmonic_mean requires positive values")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    total_weight = sum(weights)
+    if total_weight == 0:
+        raise ValueError("at least one weight must be positive")
+    return total_weight / sum(w / v for v, w in zip(values, weights))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; used for summarising speedup ratios."""
+    items = list(values)
+    if not items:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def speedup(new: float, baseline: float) -> float:
+    """Ratio of a new performance number to a baseline (both IPT-like)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be strictly positive")
+    return new / baseline
+
+
+def percent_change(new: float, baseline: float) -> float:
+    """Percentage improvement of ``new`` over ``baseline`` (15.0 == +15%)."""
+    return (speedup(new, baseline) - 1.0) * 100.0

@@ -1,0 +1,57 @@
+"""Plain-text rendering for experiment tables and series.
+
+The experiment harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and diff-friendly.
+"""
+
+from typing import Optional, Sequence
+
+
+def _cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are rendered with three decimals; every column is right-aligned to
+    its widest entry.
+    """
+    rendered_rows = [
+        [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], unit: str = ""
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs on a single line."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    suffix = unit and f" {unit}"
+    points = ", ".join(f"{x}={y:.3f}{suffix}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"

@@ -1,0 +1,22 @@
+"""Time units.
+
+All simulator timestamps are integer picoseconds.  The paper's co-simulation
+handshake advances in 0.01 ns (= 10 ps) base units; integer picoseconds give
+us the same resolution with exact arithmetic and no drift between clock
+domains of different periods.
+"""
+
+PS_PER_NS = 1000
+NS = PS_PER_NS  # convenience alias: ``3 * NS`` reads as 3 nanoseconds in ps
+
+
+def ns_to_ps(ns: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounded to nearest)."""
+    if ns < 0:
+        raise ValueError("time must be non-negative")
+    return int(round(ns * PS_PER_NS))
+
+
+def ps_to_ns(ps: int) -> float:
+    """Convert integer picoseconds back to (float) nanoseconds."""
+    return ps / PS_PER_NS

@@ -1,0 +1,59 @@
+import pytest
+
+from repro.analysis.regions import RegionLog, region_log
+from repro.uarch.config import core_config
+
+
+def _log(times, size=20):
+    return RegionLog("cfg", "trace", size, list(times))
+
+
+class TestRegionLog:
+    def test_total(self):
+        assert _log([10, 20, 30]).total_ps == 60
+
+    def test_coarsen_merges(self):
+        log = _log([1, 2, 3, 4, 5, 6])
+        coarse = log.coarsen(2)
+        assert coarse.times_ps == [3, 7, 11]
+        assert coarse.region_size == 40
+
+    def test_coarsen_partial_tail(self):
+        coarse = _log([1, 2, 3]).coarsen(2)
+        assert coarse.times_ps == [3, 3]
+
+    def test_coarsen_one_is_identity(self):
+        log = _log([1, 2])
+        assert log.coarsen(1) is log
+
+    def test_coarsen_invalid(self):
+        with pytest.raises(ValueError):
+            _log([1]).coarsen(0)
+
+    def test_coarsen_preserves_total(self):
+        log = _log(list(range(1, 50)))
+        assert log.coarsen(8).total_ps == log.total_ps
+
+
+class TestRegionLogFromSimulation:
+    def test_region_log_covers_trace(self, small_trace, gcc_core):
+        log = region_log(gcc_core, small_trace, region_size=20)
+        assert len(log.times_ps) == len(small_trace) // 20
+        assert all(t > 0 for t in log.times_ps)
+
+    def test_total_matches_run_time(self, small_trace, gcc_core):
+        from repro.uarch.run import run_standalone
+
+        log = region_log(gcc_core, small_trace, region_size=20)
+        run = run_standalone(gcc_core, small_trace)
+        # region boundaries are logged at end-of-committing-cycle, so totals
+        # agree exactly when the length is a multiple of the region size
+        assert log.total_ps == run.time_ps
+
+    def test_partial_tail_region(self, gcc_core):
+        from repro.isa.generator import generate_trace
+        from repro.isa.workloads import workload_profile
+
+        trace = generate_trace(workload_profile("gzip"), 1010, seed=2)
+        log = region_log(gcc_core, trace, region_size=100)
+        assert len(log.times_ps) == 11

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.analysis.regions import RegionLog
+from repro.analysis.switching import (
+    best_pair_at_granularity,
+    oracle_switching_curve,
+    pair_switch_time,
+)
+
+
+def _log(name, times, size=20):
+    return RegionLog(name, "t", size, list(times))
+
+
+class TestPairSwitchTime:
+    def test_takes_min_per_region(self):
+        a = _log("a", [10, 40, 10])
+        b = _log("b", [20, 20, 20])
+        assert pair_switch_time(a, b) == 10 + 20 + 10
+
+    def test_symmetric(self):
+        a = _log("a", [5, 9])
+        b = _log("b", [7, 3])
+        assert pair_switch_time(a, b) == pair_switch_time(b, a)
+
+    def test_never_worse_than_either(self):
+        a = _log("a", [5, 9, 2])
+        b = _log("b", [7, 3, 4])
+        t = pair_switch_time(a, b)
+        assert t <= a.total_ps and t <= b.total_ps
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            pair_switch_time(_log("a", [1], 20), _log("b", [1], 40))
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError):
+            pair_switch_time(_log("a", [1, 2]), _log("b", [1]))
+
+
+class TestBestPair:
+    def test_finds_complementary_pair(self):
+        logs = {
+            "x": _log("x", [1, 100, 1, 100]),
+            "y": _log("y", [100, 1, 100, 1]),
+            "z": _log("z", [50, 50, 50, 50]),
+        }
+        pair, t = best_pair_at_granularity(logs, 1)
+        assert pair == ("x", "y")
+        assert t == 4
+
+    def test_coarsening_erodes_complementarity(self):
+        logs = {
+            "x": _log("x", [1, 100, 1, 100]),
+            "y": _log("y", [100, 1, 100, 1]),
+        }
+        _, fine = best_pair_at_granularity(logs, 1)
+        _, coarse = best_pair_at_granularity(logs, 2)
+        assert coarse > fine
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            best_pair_at_granularity({"x": _log("x", [1])}, 1)
+
+
+class TestOracleCurve:
+    def _logs(self):
+        # "own" is mediocre everywhere; "fast_even"/"fast_odd" alternate
+        return {
+            "own": _log("own", [10] * 8),
+            "fast_even": _log("fast_even", [2, 20, 2, 20, 2, 20, 2, 20]),
+            "fast_odd": _log("fast_odd", [20, 2, 20, 2, 20, 2, 20, 2]),
+        }
+
+    def test_curve_points(self):
+        curve = oracle_switching_curve("own", self._logs())
+        assert curve.points[0][0] == 20           # finest granularity
+        assert curve.points[0][1] == ("fast_even", "fast_odd")
+        assert curve.points[0][2] == pytest.approx(400.0)  # 80/16 - 1
+
+    def test_speedup_decreases_with_granularity(self):
+        curve = oracle_switching_curve("own", self._logs())
+        speedups = curve.speedups()
+        assert speedups[0] >= speedups[-1]
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            oracle_switching_curve("nope", self._logs())
+
+    def test_knee_granularity(self):
+        curve = oracle_switching_curve("own", self._logs())
+        assert curve.knee_granularity() >= 20
+
+    def test_on_simulation(self, small_trace):
+        from repro.analysis.regions import region_log
+        from repro.uarch.config import core_config
+
+        logs = {
+            name: region_log(core_config(name), small_trace)
+            for name in ("gcc", "vpr", "twolf")
+        }
+        curve = oracle_switching_curve("gcc", logs)
+        assert len(curve.points) >= 3
+        # oracle switching can never be slower than the baseline config
+        assert all(s >= -1e-9 for s in curve.speedups())

@@ -1,0 +1,115 @@
+"""Calibration invariants of the workload/core pairing (DESIGN.md §5).
+
+These run at a meaningful trace scale (the experiment harness's "small"
+preset), so this module is the slowest in the suite (~1 minute).  They pin
+the properties the experiments depend on:
+
+* diagonal dominance: each benchmark's best core is its own customised one
+  (allowing the same thin margins the paper's own matrix shows),
+* the overall-best single core is one of the balanced large-cache designs,
+* every trace really varies at sub-thousand-instruction granularity, and
+* contesting helps on average and never collapses.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.util.stats import arithmetic_mean, harmonic_mean
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale="small")
+
+
+@pytest.fixture(scope="module")
+def matrix(ctx):
+    return ctx.ipt_matrix()
+
+
+class TestDiagonalDominance:
+    def test_own_core_wins_or_nearly(self, matrix):
+        """Every benchmark's own core is within 5% of its row maximum.
+
+        The paper's own matrix contains sub-5% margins (perl's core beats
+        crafty's on perl by only ~2.5%), so near-ties are faithful; outright
+        large losses are not.
+        """
+        for bench, row in matrix.items():
+            own = row[bench]
+            best = max(row.values())
+            assert own >= 0.95 * best, (
+                f"{bench}: own {own:.3f} vs best {best:.3f}"
+            )
+
+    def test_strict_wins_majority(self, matrix):
+        strict = sum(
+            1 for bench, row in matrix.items()
+            if max(row, key=row.get) == bench
+        )
+        assert strict >= 8
+
+    def test_all_entries_positive(self, matrix):
+        for row in matrix.values():
+            assert all(v > 0 for v in row.values())
+
+
+class TestOverallBestCore:
+    def test_balanced_core_tops_har(self, matrix):
+        cores = next(iter(matrix.values())).keys()
+        har = {
+            c: harmonic_mean(matrix[b][c] for b in matrix) for c in cores
+        }
+        best = max(har, key=har.get)
+        # the HOM anchor must be one of the balanced large-cache cores (the
+        # gcc core in the paper; gcc/twolf/bzip/vpr are the plausible set
+        # on this substrate)
+        assert best in {"gcc", "twolf", "bzip", "vpr"}
+
+    def test_specialised_cores_not_overall_best(self, matrix):
+        cores = next(iter(matrix.values())).keys()
+        avg = {
+            c: arithmetic_mean(matrix[b][c] for b in matrix) for c in cores
+        }
+        best = max(avg, key=avg.get)
+        assert best not in {"mcf", "gap", "crafty", "perl"}
+
+
+class TestFineGrainVariation:
+    def test_oracle_gain_at_fine_grain(self, ctx):
+        """Fine-grain switching headroom exists (the Section-2 premise)."""
+        from repro.analysis.switching import oracle_switching_curve
+
+        gains = []
+        for bench in ("mcf", "perl", "vpr", "gcc"):
+            curve = oracle_switching_curve(bench, ctx.region_logs(bench))
+            gains.append(curve.points[0][2])
+        assert arithmetic_mean(gains) > 5.0
+
+    def test_oracle_decays_with_granularity(self, ctx):
+        from repro.analysis.switching import oracle_switching_curve
+
+        curve = oracle_switching_curve("vpr", ctx.region_logs("vpr"))
+        speedups = curve.speedups()
+        assert speedups[0] > speedups[-1]
+
+
+class TestContestingHelps:
+    def test_average_speedup_positive(self, ctx):
+        from repro.util.stats import percent_change
+
+        speedups = []
+        for bench in ("mcf", "vpr", "gcc", "twolf", "parser"):
+            pair, result = ctx.best_contest(bench)
+            own = ctx.standalone_ipt(bench, bench)
+            speedups.append(percent_change(result.ipt, own))
+        assert arithmetic_mean(speedups) > 1.0
+        assert max(speedups) > 4.0
+
+    def test_no_collapse(self, ctx):
+        from repro.util.stats import percent_change
+
+        for bench in ("mcf", "vpr", "gcc"):
+            _, result = ctx.best_contest(bench)
+            own = ctx.standalone_ipt(bench, bench)
+            assert percent_change(result.ipt, own) > -5.0

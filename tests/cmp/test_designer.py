@@ -1,0 +1,80 @@
+import itertools
+
+import pytest
+
+from repro.cmp.designer import CmpDesign, best_combination, design_suite, design_table_rows
+from repro.cmp.merit import design_merit
+
+MATRIX = {
+    "b1": {"x": 2.0, "y": 1.0, "z": 1.5, "w": 0.5},
+    "b2": {"x": 1.0, "y": 2.0, "z": 1.5, "w": 0.5},
+    "b3": {"x": 1.8, "y": 0.5, "z": 1.0, "w": 2.5},
+    "b4": {"x": 0.9, "y": 1.1, "z": 1.9, "w": 0.4},
+}
+
+
+class TestBestCombination:
+    def test_matches_exhaustive(self):
+        for merit in ("avg", "har", "cw-har"):
+            combo, value = best_combination(MATRIX, 2, merit)
+            brute = max(
+                itertools.combinations(sorted(MATRIX["b1"]), 2),
+                key=lambda c: design_merit(MATRIX, c, merit),
+            )
+            assert design_merit(MATRIX, brute, merit) == pytest.approx(value)
+
+    def test_single_core(self):
+        combo, _ = best_combination(MATRIX, 1, "avg")
+        assert len(combo) == 1
+
+    def test_bad_n_types(self):
+        with pytest.raises(ValueError):
+            best_combination(MATRIX, 0, "avg")
+        with pytest.raises(ValueError):
+            best_combination(MATRIX, 9, "avg")
+
+    def test_candidate_restriction(self):
+        combo, _ = best_combination(MATRIX, 2, "har", candidates=["y", "z", "w"])
+        assert "x" not in combo
+
+
+class TestDesignSuite:
+    def test_all_designs_present(self):
+        designs = design_suite(MATRIX)
+        assert set(designs) == {
+            "HET-A", "HET-B", "HET-C", "HET-D", "HOM", "HET-ALL",
+        }
+
+    def test_sizes(self):
+        designs = design_suite(MATRIX)
+        assert len(designs["HET-A"].core_types) == 2
+        assert len(designs["HET-B"].core_types) == 2
+        assert len(designs["HET-C"].core_types) == 2
+        assert len(designs["HET-D"].core_types) == 3
+        assert len(designs["HOM"].core_types) == 1
+        assert len(designs["HET-ALL"].core_types) == 4
+
+    def test_het_all_har_dominates(self):
+        designs = design_suite(MATRIX)
+        for name, d in designs.items():
+            assert designs["HET-ALL"].harmonic_mean_ipt >= d.harmonic_mean_ipt - 1e-9
+
+    def test_het_b_best_two_type_har(self):
+        designs = design_suite(MATRIX)
+        assert designs["HET-B"].harmonic_mean_ipt >= designs["HET-A"].harmonic_mean_ipt - 1e-9
+        assert designs["HET-B"].harmonic_mean_ipt >= designs["HET-C"].harmonic_mean_ipt - 1e-9
+
+    def test_het_d_beats_het_b(self):
+        designs = design_suite(MATRIX)
+        assert designs["HET-D"].harmonic_mean_ipt >= designs["HET-B"].harmonic_mean_ipt - 1e-9
+
+    def test_best_core_for(self):
+        designs = design_suite(MATRIX)
+        core = designs["HET-ALL"].best_core_for(MATRIX, "b3")
+        assert core == "w"
+
+    def test_table_rows(self):
+        rows = design_table_rows(design_suite(MATRIX))
+        assert len(rows) == 6
+        assert rows[0][0] == "HET-A"
+        assert rows[-1][0] == "HET-ALL"

@@ -1,0 +1,107 @@
+import pytest
+
+from repro.cmp.merit import (
+    MERITS,
+    best_ipts,
+    contention_weighted_harmonic_ipt,
+    design_merit,
+    harmonic_ipt,
+    mean_ipt,
+    preferred_core,
+)
+
+#: three benchmarks, three core types
+MATRIX = {
+    "b1": {"x": 2.0, "y": 1.0, "z": 1.5},
+    "b2": {"x": 1.0, "y": 2.0, "z": 1.5},
+    "b3": {"x": 1.8, "y": 0.5, "z": 1.0},
+}
+
+
+class TestPreferredCore:
+    def test_picks_max(self):
+        assert preferred_core(MATRIX, "b1", ["x", "y"]) == "x"
+        assert preferred_core(MATRIX, "b2", ["x", "y"]) == "y"
+
+    def test_restricted_pool(self):
+        assert preferred_core(MATRIX, "b1", ["y", "z"]) == "z"
+
+
+class TestBestIpts:
+    def test_values(self):
+        assert best_ipts(MATRIX, ["x", "y"]) == {
+            "b1": 2.0, "b2": 2.0, "b3": 1.8,
+        }
+
+    def test_missing_core(self):
+        with pytest.raises(KeyError):
+            best_ipts(MATRIX, ["nope"])
+
+    def test_empty_design(self):
+        with pytest.raises(ValueError):
+            best_ipts(MATRIX, [])
+
+
+class TestMeanIpt:
+    def test_known(self):
+        assert mean_ipt(MATRIX, ["x", "y"]) == pytest.approx(
+            (2.0 + 2.0 + 1.8) / 3
+        )
+
+    def test_more_cores_never_worse(self):
+        assert mean_ipt(MATRIX, ["x", "y", "z"]) >= mean_ipt(MATRIX, ["x"])
+
+
+class TestHarmonicIpt:
+    def test_known(self):
+        expected = 3 / (1 / 2.0 + 1 / 2.0 + 1 / 1.8)
+        assert harmonic_ipt(MATRIX, ["x", "y"]) == pytest.approx(expected)
+
+    def test_single_core(self):
+        expected = 3 / (1 / 2.0 + 1 / 1.0 + 1 / 1.8)
+        assert harmonic_ipt(MATRIX, ["x"]) == pytest.approx(expected)
+
+
+class TestContentionWeighted:
+    def test_balanced_assignment(self):
+        # with x and y, preferences are b1->x, b2->y, b3->x: x is shared by
+        # two benchmarks, so their IPTs are halved
+        value = contention_weighted_harmonic_ipt(MATRIX, ["x", "y"])
+        expected = 3 / (1 / (2.0 / 2) + 1 / (2.0 / 1) + 1 / (1.8 / 2))
+        assert value == pytest.approx(expected)
+
+    def test_homogeneous_design_divides_by_all(self):
+        value = contention_weighted_harmonic_ipt(MATRIX, ["x"])
+        expected = 3 / (1 / (2.0 / 3) + 1 / (1.0 / 3) + 1 / (1.8 / 3))
+        assert value == pytest.approx(expected)
+
+    def test_prefers_balanced_over_lopsided(self):
+        # a matrix where one core dominates: cw-har punishes the pile-up
+        lopsided = {
+            "b1": {"x": 2.0, "y": 1.9},
+            "b2": {"x": 2.0, "y": 1.9},
+            "b3": {"x": 2.0, "y": 1.9},
+            "b4": {"x": 1.0, "y": 1.9},
+        }
+        plain = harmonic_ipt(lopsided, ["x", "y"])
+        weighted = contention_weighted_harmonic_ipt(lopsided, ["x", "y"])
+        assert weighted < plain
+
+    def test_importance_weights(self):
+        uniform = contention_weighted_harmonic_ipt(MATRIX, ["x", "y"])
+        weighted = contention_weighted_harmonic_ipt(
+            MATRIX, ["x", "y"], weights={"b1": 10.0, "b2": 1.0, "b3": 1.0}
+        )
+        assert weighted != pytest.approx(uniform)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(MERITS) == {"avg", "har", "cw-har"}
+
+    def test_design_merit_dispatch(self):
+        assert design_merit(MATRIX, ["x"], "avg") == mean_ipt(MATRIX, ["x"])
+
+    def test_unknown_merit(self):
+        with pytest.raises(ValueError):
+            design_merit(MATRIX, ["x"], "median")

@@ -1,0 +1,150 @@
+import pytest
+
+from repro.cmp.queueing import (
+    CmpQueueSimulator,
+    JobStream,
+    compare_designs_under_load,
+)
+
+MATRIX = {
+    "b1": {"x": 2.0, "y": 1.0},
+    "b2": {"x": 1.0, "y": 2.0},
+    "b3": {"x": 1.8, "y": 0.6},
+}
+
+
+def _stream(rate=0.001, jobs=300, length=10_000):
+    return JobStream(arrival_rate=rate, job_length=length, jobs=jobs)
+
+
+class TestValidation:
+    def test_stream_validation(self):
+        with pytest.raises(ValueError):
+            JobStream(arrival_rate=0)
+        with pytest.raises(ValueError):
+            JobStream(arrival_rate=1, jobs=0)
+
+    def test_simulator_validation(self):
+        with pytest.raises(ValueError):
+            CmpQueueSimulator(MATRIX, [])
+        with pytest.raises(ValueError):
+            CmpQueueSimulator(MATRIX, ["x"], cores_per_type=0)
+        with pytest.raises(ValueError):
+            CmpQueueSimulator(MATRIX, ["x"], policy="random")
+
+
+class TestBasicBehaviour:
+    def test_deterministic(self):
+        sim = CmpQueueSimulator(MATRIX, ["x", "y"])
+        a = sim.run(_stream(), seed=3)
+        b = sim.run(_stream(), seed=3)
+        assert a.mean_turnaround_ns == b.mean_turnaround_ns
+
+    def test_all_jobs_served(self):
+        result = CmpQueueSimulator(MATRIX, ["x", "y"]).run(_stream(jobs=50))
+        assert sum(result.dispatched.values()) == 50
+
+    def test_turnaround_at_least_service(self):
+        result = CmpQueueSimulator(MATRIX, ["x", "y"]).run(_stream())
+        assert result.mean_turnaround_ns >= result.mean_service_ns
+        assert result.mean_turnaround_ns == pytest.approx(
+            result.mean_service_ns + result.mean_wait_ns
+        )
+
+    def test_utilization_bounded(self):
+        result = CmpQueueSimulator(MATRIX, ["x", "y"]).run(_stream())
+        for u in result.utilization.values():
+            assert 0.0 <= u <= 1.0
+
+    def test_preferred_policy_routes_by_matrix(self):
+        # light load: every b1/b3 job must land on x, b2 on y
+        result = CmpQueueSimulator(MATRIX, ["x", "y"]).run(
+            _stream(rate=1e-6, jobs=60)
+        )
+        assert result.dispatched["x"] > result.dispatched["y"]
+
+
+class TestLoadBehaviour:
+    def test_wait_grows_with_load(self):
+        sim = CmpQueueSimulator(MATRIX, ["x", "y"])
+        light = sim.run(_stream(rate=1e-6))
+        heavy = sim.run(_stream(rate=1e-3))
+        assert heavy.mean_wait_ns > light.mean_wait_ns
+
+    def test_more_instances_reduce_wait(self):
+        one = CmpQueueSimulator(MATRIX, ["x", "y"], cores_per_type=1).run(
+            _stream(rate=5e-4)
+        )
+        four = CmpQueueSimulator(MATRIX, ["x", "y"], cores_per_type=4).run(
+            _stream(rate=5e-4)
+        )
+        assert four.mean_wait_ns < one.mean_wait_ns
+
+    def test_policies_see_identical_arrivals(self):
+        stream = _stream(rate=2e-3, jobs=200)
+        pref = CmpQueueSimulator(MATRIX, ["x", "y"], policy="preferred").run(stream)
+        avail = CmpQueueSimulator(MATRIX, ["x", "y"], policy="best-available").run(stream)
+        # same arrival stream: identical total jobs, different routing
+        assert sum(pref.dispatched.values()) == sum(avail.dispatched.values())
+
+    def test_best_available_spreads_load(self):
+        # under heavy load the greedy policy uses the unpreferred type more
+        # than strict preference routing does (the robustness trade-off
+        # Section 7.1 discusses)
+        stream = _stream(rate=4e-3, jobs=400)
+        pref = CmpQueueSimulator(MATRIX, ["x", "y"], policy="preferred").run(stream)
+        avail = CmpQueueSimulator(MATRIX, ["x", "y"], policy="best-available").run(stream)
+        spread_p = min(pref.dispatched.values()) / max(pref.dispatched.values())
+        spread_a = min(avail.dispatched.values()) / max(avail.dispatched.values())
+        assert spread_a >= spread_p
+
+
+class TestLittlesLawArgument:
+    def test_queue_length_tracks_preference_count(self):
+        """The cw-har premise: under the preferred policy, load per core
+        type is proportional to how many benchmark types prefer it."""
+        lopsided = {
+            "b1": {"x": 2.0, "y": 1.9},
+            "b2": {"x": 2.0, "y": 1.9},
+            "b3": {"x": 2.0, "y": 1.9},
+            "b4": {"x": 1.0, "y": 1.9},
+        }
+        result = CmpQueueSimulator(lopsided, ["x", "y"]).run(
+            _stream(rate=1e-3, jobs=600)
+        )
+        # three of four types prefer x
+        assert result.dispatched["x"] > 2 * result.dispatched["y"] * 0.7
+
+    def test_cw_har_ranking_matches_measured_turnaround(self):
+        """A balanced design should beat a lopsided one under heavy load,
+        as the cw-har merit predicts."""
+        from repro.cmp.merit import contention_weighted_harmonic_ipt
+
+        matrix = {
+            "b1": {"x": 2.0, "y": 0.5, "z": 1.6},
+            "b2": {"x": 1.9, "y": 0.5, "z": 1.6},
+            "b3": {"x": 0.6, "y": 1.8, "z": 1.6},
+            "b4": {"x": 0.6, "y": 1.8, "z": 1.55},
+        }
+        balanced = ("x", "y")
+        lopsided = ("x", "z")
+        merit_b = contention_weighted_harmonic_ipt(matrix, balanced)
+        merit_l = contention_weighted_harmonic_ipt(matrix, lopsided)
+        stream = _stream(rate=1.2e-3, jobs=600)
+        result_b = CmpQueueSimulator(matrix, balanced).run(stream)
+        result_l = CmpQueueSimulator(matrix, lopsided).run(stream)
+        # merit and measurement must agree on the ordering
+        assert (merit_b > merit_l) == (
+            result_b.mean_turnaround_ns < result_l.mean_turnaround_ns
+        )
+
+
+class TestCompareDesigns:
+    def test_returns_per_design(self):
+        results = compare_designs_under_load(
+            MATRIX,
+            {"A": ("x", "y"), "B": ("x",)},
+            _stream(jobs=100),
+        )
+        assert set(results) == {"A", "B"}
+        assert results["A"].design_cores == ("x", "y")

@@ -1,0 +1,116 @@
+"""Shared fixtures: small deterministic traces and core configurations.
+
+Session-scoped where safe (traces are immutable by convention; cores are
+constructed fresh per test).
+"""
+
+import pytest
+
+from repro.isa.generator import generate_trace
+from repro.isa.phases import (
+    PhaseMix,
+    PhaseType,
+    branchy_phase,
+    pointer_chase_phase,
+    serial_chain_phase,
+    wide_ilp_phase,
+)
+from repro.isa.workloads import workload_profile
+from repro.uarch.config import core_config
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A 3000-instruction gcc-profile trace (phase-diverse)."""
+    return generate_trace(workload_profile("gcc"), 3000, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """A 600-instruction trace for the cheapest pipeline tests."""
+    return generate_trace(workload_profile("gzip"), 600, seed=5)
+
+
+@pytest.fixture(scope="session")
+def ilp_trace():
+    """Pure independent ALU work (no loads/branches/dependences)."""
+    phase = PhaseType(
+        "pure",
+        load_frac=0.0,
+        store_frac=0.0,
+        branch_frac=0.0,
+        dep1_frac=0.0,
+        two_src_frac=0.0,
+        footprint=1024,
+        mean_dwell=10**9,
+    )
+    return generate_trace(PhaseMix("pure", [(phase, 1.0)]), 3000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def serial_trace():
+    """A strictly serial ALU chain (dependence-limited)."""
+    phase = serial_chain_phase(
+        "serial",
+        load_frac=0.0,
+        store_frac=0.0,
+        branch_frac=0.0,
+        chain_frac=1.0,
+        dep1_frac=1.0,
+        two_src_frac=0.0,
+        mean_dwell=10**9,
+    )
+    return generate_trace(PhaseMix("serial", [(phase, 1.0)]), 2000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def branchy_trace():
+    """Branch-dense, poorly predictable."""
+    phase = branchy_phase("bad", branch_bias=0.7, mean_dwell=10**9)
+    return generate_trace(PhaseMix("branchy", [(phase, 1.0)]), 3000, seed=2)
+
+
+@pytest.fixture(scope="session")
+def memory_trace():
+    """Pointer chasing over a footprint larger than small caches."""
+    phase = pointer_chase_phase(
+        "chase", footprint=512 * 1024, obj_words=2, zipf_skew=1.5,
+        mean_dwell=10**9,
+    )
+    return generate_trace(PhaseMix("chase", [(phase, 1.0)]), 3000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def store_trace():
+    """Store-heavy trace for store-queue tests."""
+    phase = PhaseType(
+        "stores",
+        load_frac=0.10,
+        store_frac=0.30,
+        branch_frac=0.05,
+        footprint=32 * 1024,
+        mean_dwell=10**9,
+    )
+    return generate_trace(PhaseMix("stores", [(phase, 1.0)]), 2000, seed=4)
+
+
+@pytest.fixture(scope="session")
+def syscall_trace():
+    """Trace with occasional synchronous exceptions."""
+    phase = wide_ilp_phase("sys", syscall_rate=0.002, mean_dwell=10**9)
+    return generate_trace(PhaseMix("sys", [(phase, 1.0)]), 2500, seed=6)
+
+
+@pytest.fixture
+def gcc_core():
+    return core_config("gcc")
+
+
+@pytest.fixture
+def mcf_core():
+    return core_config("mcf")
+
+
+@pytest.fixture
+def crafty_core():
+    return core_config("crafty")

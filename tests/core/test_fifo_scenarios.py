@@ -1,0 +1,107 @@
+"""Unit-level tests of the Section-4.1 scenario logic (pop counters, fetch
+counter, late-result discarding, pairing, and the Figure-5 corner case)."""
+
+from repro.core.system import ContestingSystem, ResultFifo
+from repro.isa.generator import generate_trace
+from repro.isa.instructions import Instr, OpClass
+from repro.isa.phases import PhaseMix, branchy_phase
+from repro.isa.trace import Trace
+from repro.uarch.config import core_config
+
+
+class TestResultFifo:
+    def test_pop_counter_starts_at_zero(self):
+        fifo = ResultFifo(sender_id=1)
+        assert fifo.next_seq == 0
+        assert fifo.occupancy == 0
+
+    def test_push_occupancy(self):
+        fifo = ResultFifo(0)
+        fifo.push(100)
+        fifo.push(200)
+        assert fifo.occupancy == 2
+
+
+def _system(trace, a="gcc", b="mcf", **kw):
+    return ContestingSystem(
+        [core_config(a), core_config(b)], trace, **kw
+    )
+
+
+def _alu_trace(n=50):
+    return Trace("alu", [Instr(OpClass.IALU, pc=4 * i) for i in range(n)])
+
+
+class TestScenario1LateDiscard:
+    def test_late_results_discarded(self, small_trace):
+        system = _system(small_trace)
+        result = system.run()
+        # whichever core led, its incoming FIFO saw late results discarded
+        late = sum(
+            f.popped_late
+            for flist in system.fifos.values()
+            for f in flist
+        )
+        assert late > 0
+
+    def test_pop_counters_advance_in_order(self, tiny_trace):
+        system = _system(tiny_trace)
+        system.run()
+        for flist in system.fifos.values():
+            for fifo in flist:
+                assert 0 <= fifo.next_seq <= len(tiny_trace)
+
+
+class TestScenario2Pairing:
+    def test_trailing_core_pairs_results(self, small_trace):
+        # gap trails gcc on the gcc workload
+        system = _system(small_trace, a="gcc", b="gap")
+        system.run()
+        paired = sum(
+            f.popped_paired for f in system.fifos[1]
+        )
+        assert paired > 0
+
+    def test_paired_plus_late_bounded_by_retires(self, small_trace):
+        system = _system(small_trace)
+        system.run()
+        for rid, flist in system.fifos.items():
+            for fifo in flist:
+                assert fifo.popped_late + fifo.popped_paired == fifo.next_seq
+
+
+class TestEarlyBranchResolution:
+    def test_corner_case_fires(self):
+        # A branchy, poorly-predictable trace contested between two similar
+        # cores: each core's mispredicted branches are regularly resolved by
+        # the other's (slightly earlier) retired outcomes.
+        mix = PhaseMix(
+            "b", [(branchy_phase("x", branch_bias=0.75, mean_dwell=10**9), 1.0)]
+        )
+        trace = generate_trace(mix, 12000, seed=3)
+        system = _system(trace, a="twolf", b="vpr")
+        result = system.run()
+        early = sum(s.early_resolved for s in result.per_core.values())
+        assert early > 0
+
+    def test_early_resolution_requires_misprediction(self, tiny_trace):
+        from repro.uarch.core import Core
+
+        core = Core(core_config("gcc"), tiny_trace)
+        # no branch in flight -> nothing to resolve
+        assert core.early_resolve_branch(0) is False
+
+
+class TestFetchCounterEquivalence:
+    def test_fetch_index_is_fetch_counter(self, tiny_trace):
+        """Trace-driven fetch_index only counts correct-path instructions,
+        which is exactly the paper's (checkpoint-repaired) fetch counter."""
+        from repro.uarch.core import Core
+
+        core = Core(core_config("gcc"), tiny_trace)
+        for _ in range(200):
+            if core.done:
+                break
+            core.step()
+        assert core.fetch_index >= core.commit_count
+        assert core.fetch_index <= len(tiny_trace)

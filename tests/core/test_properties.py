@@ -1,0 +1,86 @@
+"""Property-based tests: contesting invariants over random tiny workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import ContestingSystem
+from repro.isa.generator import generate_trace
+from repro.isa.phases import PhaseMix, branchy_phase, stream_phase, wide_ilp_phase
+from repro.isa.workloads import BENCHMARKS
+from repro.uarch.config import core_config
+
+CORE_NAMES = list(BENCHMARKS)
+
+
+def _random_mix(ilp_w, branchy_w, stream_w):
+    return PhaseMix(
+        "prop",
+        [
+            (wide_ilp_phase("i", mean_dwell=150), ilp_w),
+            (branchy_phase("b", branch_bias=0.85, mean_dwell=150), branchy_w),
+            (stream_phase("s", footprint=32 * 1024, mean_dwell=150), stream_w),
+        ],
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    ilp_w=st.floats(0.2, 3.0),
+    branchy_w=st.floats(0.2, 3.0),
+    stream_w=st.floats(0.2, 3.0),
+    pair=st.tuples(
+        st.sampled_from(CORE_NAMES), st.sampled_from(CORE_NAMES)
+    ).filter(lambda p: p[0] != p[1]),
+)
+def test_contest_always_completes_and_is_sane(seed, ilp_w, branchy_w, stream_w, pair):
+    trace = generate_trace(_random_mix(ilp_w, branchy_w, stream_w), 800, seed=seed)
+    system = ContestingSystem(
+        [core_config(pair[0]), core_config(pair[1])], trace
+    )
+    result = system.run()
+    # completion
+    assert result.instructions == 800
+    assert result.time_ps > 0
+    # the winner really retired everything
+    winner_key = [k for k in result.per_core if k.endswith(result.winner)][0]
+    assert result.per_core[winner_key].committed == 800
+    # pop-counter conservation on every FIFO
+    for flist in system.fifos.values():
+        for fifo in flist:
+            assert fifo.popped_late + fifo.popped_paired == fifo.next_seq
+            assert fifo.next_seq <= 800
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    pair=st.tuples(
+        st.sampled_from(CORE_NAMES), st.sampled_from(CORE_NAMES)
+    ).filter(lambda p: p[0] != p[1]),
+)
+def test_contest_determinism_property(seed, pair):
+    trace = generate_trace(_random_mix(1, 1, 1), 600, seed=seed)
+    configs = [core_config(pair[0]), core_config(pair[1])]
+    a = ContestingSystem(configs, trace).run()
+    b = ContestingSystem(configs, trace).run()
+    assert a.time_ps == b.time_ps
+    assert a.winner == b.winner
+    assert a.lead_changes == b.lead_changes
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_contest_not_slower_than_slowest_single(seed):
+    from repro.uarch.run import run_standalone
+
+    trace = generate_trace(_random_mix(1, 1, 1), 700, seed=seed)
+    gcc = core_config("gcc")
+    mcf = core_config("mcf")
+    worst_time = max(
+        run_standalone(gcc, trace).time_ps,
+        run_standalone(mcf, trace).time_ps,
+    )
+    both = ContestingSystem([gcc, mcf], trace).run()
+    assert both.time_ps <= worst_time * 1.05

@@ -1,0 +1,93 @@
+"""Tests of the resync (re-fork) lagger policy extension."""
+
+import pytest
+
+from repro.core.system import ContestingSystem
+from repro.uarch.config import core_config
+from repro.uarch.core import Core
+from repro.uarch.run import run_standalone
+
+
+class TestCoreResync:
+    def test_resync_jumps_position(self, small_trace, gcc_core):
+        core = Core(gcc_core, small_trace)
+        for _ in range(100):
+            core.step()
+        core.resync(2000)
+        assert core.fetch_index == 2000
+        assert core.commit_count == 2000
+        assert core.rob_occupancy == 0
+
+    def test_resync_penalty_charges_time(self, small_trace, gcc_core):
+        core = Core(gcc_core, small_trace)
+        t0 = core.time_ps
+        core.resync(100, penalty_cycles=50)
+        assert core.time_ps == t0 + 50 * core.period_ps
+
+    def test_resync_backwards_rejected(self, small_trace, gcc_core):
+        core = Core(gcc_core, small_trace)
+        core.resync(500)
+        with pytest.raises(ValueError):
+            core.resync(100)
+
+    def test_resync_beyond_trace_rejected(self, small_trace, gcc_core):
+        core = Core(gcc_core, small_trace)
+        with pytest.raises(ValueError):
+            core.resync(len(small_trace) + 1)
+
+    def test_execution_continues_after_resync(self, small_trace, gcc_core):
+        core = Core(gcc_core, small_trace)
+        core.resync(len(small_trace) - 200)
+        while not core.done:
+            core.step()
+        assert core.commit_count == len(small_trace)
+
+
+class TestResyncPolicy:
+    def test_policy_validation(self, small_trace, gcc_core, mcf_core):
+        with pytest.raises(ValueError):
+            ContestingSystem(
+                [gcc_core, mcf_core], small_trace, lagger_policy="reboot"
+            )
+
+    def test_resync_instead_of_halt(self, ilp_trace):
+        system = ContestingSystem(
+            [core_config("crafty"), core_config("mcf")], ilp_trace,
+            max_lag=256, sat_grace_ns=5.0, lagger_policy="resync",
+        )
+        result = system.run()
+        assert result.saturated == []       # nobody is removed
+        assert system.resyncs >= 1          # mcf was re-forked instead
+
+    def test_resync_not_slower_than_disable(self, ilp_trace):
+        kw = dict(max_lag=256, sat_grace_ns=5.0)
+        disable = ContestingSystem(
+            [core_config("crafty"), core_config("mcf")], ilp_trace,
+            lagger_policy="disable", **kw,
+        ).run()
+        resync = ContestingSystem(
+            [core_config("crafty"), core_config("mcf")], ilp_trace,
+            lagger_policy="resync", **kw,
+        ).run()
+        assert resync.ipt >= disable.ipt * 0.97
+
+    def test_store_accounting_after_resync(self, store_trace):
+        # gcc races far ahead of mcf on the store trace; with a tight lag
+        # bound and resync, merged stores must stay consistent (no deadlock,
+        # no over-merge)
+        system = ContestingSystem(
+            [core_config("gcc"), core_config("mcf")], store_trace,
+            max_lag=64, sat_grace_ns=5.0, lagger_policy="resync",
+        )
+        result = system.run()
+        n_stores = sum(1 for i in store_trace if i.op == 4)
+        assert result.instructions == len(store_trace)
+        assert 0 <= result.merged_stores <= n_stores
+
+    def test_resync_completes_on_real_workload(self, small_trace):
+        system = ContestingSystem(
+            [core_config("gcc"), core_config("gap")], small_trace,
+            max_lag=128, sat_grace_ns=10.0, lagger_policy="resync",
+        )
+        result = system.run()
+        assert result.instructions == len(small_trace)

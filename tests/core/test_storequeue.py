@@ -1,0 +1,108 @@
+import pytest
+
+from repro.core.storequeue import SyncStoreQueue
+
+
+class TestValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            SyncStoreQueue([0, 1], capacity=0)
+
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            SyncStoreQueue([])
+
+
+class TestMerging:
+    def test_merge_when_all_performed(self):
+        q = SyncStoreQueue([0, 1])
+        q.perform(0)
+        assert q.merged == 0          # core 1 hasn't performed it
+        q.perform(1)
+        assert q.merged == 1          # now merged to the shared level
+
+    def test_merge_order_independent(self):
+        q = SyncStoreQueue([0, 1])
+        q.perform(1)
+        q.perform(1)
+        q.perform(0)
+        assert q.merged == 1
+        q.perform(0)
+        assert q.merged == 2
+
+    def test_occupancy_is_spread(self):
+        q = SyncStoreQueue([0, 1])
+        for _ in range(5):
+            q.perform(0)
+        assert q.occupancy == 5
+        q.perform(1)
+        assert q.occupancy == 4
+
+    def test_three_cores(self):
+        q = SyncStoreQueue([0, 1, 2])
+        q.perform(0)
+        q.perform(1)
+        assert q.merged == 0
+        q.perform(2)
+        assert q.merged == 1
+
+
+class TestCapacity:
+    def test_leader_stalls_at_capacity(self):
+        q = SyncStoreQueue([0, 1], capacity=3)
+        for _ in range(3):
+            assert q.can_commit(0)
+            q.perform(0)
+        assert not q.can_commit(0)
+        assert q.stalls == 1
+
+    def test_laggard_never_stalls(self):
+        q = SyncStoreQueue([0, 1], capacity=3)
+        for _ in range(3):
+            q.perform(0)
+        assert q.can_commit(1)
+
+    def test_drain_unblocks(self):
+        q = SyncStoreQueue([0, 1], capacity=2)
+        q.perform(0)
+        q.perform(0)
+        assert not q.can_commit(0)
+        q.perform(1)
+        assert q.can_commit(0)
+
+
+class TestDeactivation:
+    def test_deactivate_releases_pending(self):
+        q = SyncStoreQueue([0, 1])
+        for _ in range(4):
+            q.perform(0)
+        assert q.merged == 0
+        q.deactivate(1)                # saturated lagger removed
+        assert q.merged == 4
+        assert q.occupancy == 0
+
+    def test_deactivated_core_bypasses(self):
+        q = SyncStoreQueue([0, 1], capacity=1)
+        q.deactivate(1)
+        for _ in range(10):
+            assert q.can_commit(0)
+            q.perform(0)
+        assert q.merged == 10
+
+    def test_perform_after_deactivation_ignored(self):
+        q = SyncStoreQueue([0, 1])
+        q.deactivate(1)
+        q.perform(1)
+        assert q.occupancy == 0
+
+    def test_double_deactivate(self):
+        q = SyncStoreQueue([0, 1])
+        q.deactivate(1)
+        q.deactivate(1)
+        assert not q.is_active(1)
+
+    def test_is_active(self):
+        q = SyncStoreQueue([0, 1])
+        assert q.is_active(0) and q.is_active(1)
+        q.deactivate(0)
+        assert not q.is_active(0)

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.experiments.common import SCALES, ExperimentContext
+from repro.uarch.config import core_config
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale="tiny", benchmarks=("gcc", "vpr", "twolf"))
+
+
+class TestScales:
+    def test_presets(self):
+        assert set(SCALES) == {"tiny", "small", "default", "full"}
+        assert SCALES["tiny"].trace_len < SCALES["full"].trace_len
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentContext(scale="huge")
+
+
+class TestCaching:
+    def test_trace_cached(self, ctx):
+        assert ctx.trace("gcc") is ctx.trace("gcc")
+
+    def test_standalone_cached(self, ctx):
+        a = ctx.standalone("gcc", core_config("gcc"))
+        b = ctx.standalone("gcc", core_config("gcc"))
+        assert a is b
+
+    def test_region_logs_cached(self, ctx):
+        a = ctx.region_logs("gcc")["vpr"]
+        b = ctx.region_logs("gcc")["vpr"]
+        assert a is b
+
+    def test_contest_cached(self, ctx):
+        cfgs = [core_config("gcc"), core_config("vpr")]
+        a = ctx.contest("gcc", cfgs)
+        b = ctx.contest("gcc", cfgs)
+        assert a is b
+
+    def test_contest_latency_distinguishes(self, ctx):
+        cfgs = [core_config("gcc"), core_config("vpr")]
+        a = ctx.contest("gcc", cfgs, grb_latency_ns=1.0)
+        b = ctx.contest("gcc", cfgs, grb_latency_ns=50.0)
+        assert a is not b
+
+
+class TestDerived:
+    def test_matrix_shape(self, ctx):
+        matrix = ctx.ipt_matrix()
+        assert set(matrix) == {"gcc", "vpr", "twolf"}
+        assert len(matrix["gcc"]) == 11  # all Appendix-A core types
+
+    def test_candidate_pairs(self, ctx):
+        pairs = ctx.candidate_pairs("gcc")
+        assert 1 <= len(pairs) <= SCALES["tiny"].pair_candidates
+        assert all(a != b for a, b in pairs)
+        assert len(set(pairs)) == len(pairs)
+
+    def test_best_contest(self, ctx):
+        pair, result = ctx.best_contest("gcc")
+        assert result.instructions == len(ctx.trace("gcc"))
+        assert pair[0] != pair[1]

@@ -1,0 +1,166 @@
+"""Structural tests of every experiment at tiny scale.
+
+These check that each experiment runs end-to-end, returns the paper's rows
+and series, and renders a table containing the expected elements; the
+*quantitative* claims are covered by tests/calibration (which runs at a
+meaningful scale).
+"""
+
+import pytest
+
+from repro.experiments import appendix_a, fig01, fig06, fig07, fig08, fig09
+from repro.experiments import fig10, fig11, fig12, fig13, table1
+from repro.experiments.common import ExperimentContext
+from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.isa.workloads import BENCHMARKS
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def table1_result(ctx):
+    return table1.run(ctx)
+
+
+@pytest.fixture(scope="module")
+def fig06_result(ctx):
+    return fig06.run(ctx)
+
+
+class TestFig01:
+    def test_curves_for_all_benchmarks(self, ctx):
+        result = fig01.run(ctx)
+        assert set(result.curves) == set(BENCHMARKS)
+        for curve in result.curves.values():
+            assert curve.points[0][0] == 20
+            assert all(s >= -1e-9 for s in curve.speedups())
+        assert "Figure 1" in result.render()
+
+    def test_average_curve_length(self, ctx):
+        result = fig01.run(ctx)
+        assert len(result.average_curve()) >= 3
+
+
+class TestAppendixA:
+    def test_matrix_square(self, ctx):
+        result = appendix_a.run(ctx)
+        assert set(result.matrix) == set(BENCHMARKS)
+        for row in result.matrix.values():
+            assert len(row) == 11
+            assert all(v > 0 for v in row.values())
+        assert "Appendix A" in result.render()
+
+
+class TestFig06:
+    def test_rows(self, fig06_result):
+        assert set(fig06_result.rows) == set(BENCHMARKS)
+        for pair, contested, own in fig06_result.rows.values():
+            assert contested > 0 and own > 0
+        text = fig06_result.render()
+        assert "average speedup" in text
+
+    def test_contesting_never_much_worse(self, fig06_result):
+        # the best pair includes near-own-core options; a large regression
+        # would indicate a mechanism bug
+        for bench in fig06_result.rows:
+            assert fig06_result.speedup(bench) > -10.0
+
+
+class TestFig07:
+    def test_rows(self, ctx, fig06_result):
+        result = fig07.run(ctx, fig06_result)
+        assert set(result.rows) == set(BENCHMARKS)
+        for bench in result.rows:
+            assert 0.0 <= result.l2_fraction(bench) <= 1.0
+        assert "L2" in result.render()
+
+
+class TestFig08:
+    def test_sweep(self, ctx, fig06_result):
+        result = fig08.run(ctx, latencies_ns=(1.0, 10.0), fig06=fig06_result)
+        assert result.latencies_ns == (1.0, 10.0)
+        assert all(len(v) == 2 for v in result.speedups.values())
+        assert len(result.average()) == 2
+        assert "latency" in result.render()
+
+
+class TestTable1:
+    def test_designs(self, table1_result):
+        assert set(table1_result.designs) == {
+            "HET-A", "HET-B", "HET-C", "HET-D", "HOM", "HET-ALL",
+        }
+        assert "Table 1" in table1_result.render()
+
+    def test_het_all_dominates_hom(self, table1_result):
+        assert table1_result.het_all_vs_hom() >= 0.0
+
+
+class TestFig09:
+    def test_design_columns(self, ctx, table1_result):
+        result = fig09.run(ctx, table1_result)
+        for per_design in result.ipt.values():
+            assert set(per_design) == {
+                "HET-A", "HET-B", "HET-C", "HOM", "HET-ALL",
+            }
+            # HET-ALL provides each benchmark's unconstrained best
+            assert per_design["HET-ALL"] >= max(
+                v for k, v in per_design.items() if k != "HET-ALL"
+            ) - 1e-9
+        assert "Figure 9" in result.render()
+
+
+class TestFigs10to12:
+    @pytest.mark.parametrize("module,design", [
+        (fig10, "HET-A"), (fig11, "HET-B"), (fig12, "HET-C"),
+    ])
+    def test_design_contest(self, ctx, table1_result, module, design):
+        result = module.run(ctx, table1_result)
+        assert result.design_name == design
+        assert len(result.core_types) == 2
+        assert set(result.rows) == set(BENCHMARKS)
+        text = module.render(result)
+        assert design in text
+
+    def test_contest_ge_available_mostly(self, ctx, table1_result):
+        result = fig10.run(ctx, table1_result)
+        # contesting includes the best available core as a participant, so
+        # it should rarely lose much to it
+        losses = [
+            b for b in result.rows if result.contest_speedup(b) < -10
+        ]
+        assert len(losses) <= 2
+
+
+class TestFig13:
+    def test_rows(self, ctx, table1_result):
+        result = fig13.run(ctx, table1_result)
+        assert len(result.het_d_types) == 3
+        assert set(result.rows) == set(BENCHMARKS)
+        c, d, a = result.averages()
+        assert a >= d - 1e-9  # HET-ALL can't lose to HET-D
+        assert "Figure 13" in result.render()
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        paper = {
+            "fig01", "fig06", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "fig13", "table1", "appendix_a",
+        }
+        extensions = {
+            "ext_queueing", "ext_nway", "ext_resync", "ext_energy",
+            "ext_robustness",
+        }
+        assert set(EXPERIMENTS) == paper | extensions
+
+    def test_run_subset(self, capsys):
+        run_all(scale="tiny", names=["table1"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_all(scale="tiny", names=["fig99"])

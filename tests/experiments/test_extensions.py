@@ -1,0 +1,60 @@
+"""Structural tests of the extension experiments."""
+
+import pytest
+
+from repro.experiments import ext_nway, ext_queueing, ext_resync, table1
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale="tiny")
+
+
+class TestExtQueueing:
+    def test_runs_and_renders(self, ctx):
+        result = ext_queueing.run(ctx)
+        assert len(result.turnarounds) >= 3
+        for light, heavy in result.turnarounds.values():
+            assert heavy >= light * 0.5  # heavy load can't be much faster
+        assert set(m for m, _ in result.agreement) == {"avg", "har", "cw-har"}
+        for value in result.agreement.values():
+            assert 0.0 <= value <= 1.0
+        assert "rank agreement" in result.render()
+
+    def test_light_load_ranking_strong(self, ctx):
+        # with no queueing, service time == har prediction; har should
+        # order designs nearly perfectly
+        result = ext_queueing.run(ctx)
+        assert result.agreement[("har", "light")] >= 0.6
+
+
+class TestExtNway:
+    def test_runs_and_renders(self, ctx):
+        result = ext_nway.run(ctx)
+        assert len(result.two_way_types) == 2
+        assert len(result.three_way_types) == 3
+        single, two, three = result.averages()
+        assert single > 0 and two > 0 and three > 0
+        assert "3-way" in result.render()
+
+    def test_reuses_table1(self, ctx):
+        t1 = table1.run(ctx)
+        result = ext_nway.run(ctx, t1)
+        assert result.two_way_types == t1.designs["HET-C"].core_types
+
+
+class TestExtResync:
+    def test_runs_and_renders(self, ctx):
+        result = ext_resync.run(ctx)
+        assert result.partner == "crafty"  # highest peak IPS in the palette
+        assert result.partner not in result.rows
+        for disable_ipt, resync_ipt, resyncs in result.rows.values():
+            assert disable_ipt > 0 and resync_ipt > 0
+            assert resyncs >= 0
+        assert "saturated-lagger policy" in result.render()
+
+    def test_resync_not_catastrophic(self, ctx):
+        result = ext_resync.run(ctx)
+        for disable_ipt, resync_ipt, _ in result.rows.values():
+            assert resync_ipt >= disable_ipt * 0.9

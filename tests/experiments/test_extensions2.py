@@ -1,0 +1,82 @@
+"""Structural tests of the energy and robustness extension experiments."""
+
+import pytest
+
+from repro.experiments import ext_energy, ext_robustness
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale="tiny")
+
+
+class TestExtEnergy:
+    def test_runs_and_renders(self, ctx):
+        result = ext_energy.run(ctx)
+        assert len(result.rows) == 11
+        for speedup, energy_ratio, edp_ratio in result.rows.values():
+            # two cores cost more energy than one, bounded by ~2x + GRB
+            assert 1.0 < energy_ratio < 3.5
+            assert edp_ratio > 0
+        assert "energy" in result.render()
+
+    def test_edp_consistent_with_speedup(self, ctx):
+        result = ext_energy.run(ctx)
+        for speedup, energy_ratio, edp_ratio in result.rows.values():
+            expected = energy_ratio / (1.0 + speedup / 100.0)
+            assert edp_ratio == pytest.approx(expected, rel=0.02)
+
+
+class TestExtRobustness:
+    def test_runs_and_renders(self, ctx):
+        result = ext_robustness.run(ctx)
+        assert len(result.design_types) == 2
+        assert len(result.rows) == len(ext_robustness.ARRIVAL_RATES)
+        for plain, contested, frac in result.rows.values():
+            assert plain > 0 and contested > 0
+            assert 0.0 <= frac <= 1.0
+        assert "need-to-have" in result.render()
+
+    def test_contested_fraction_decreases_with_load(self, ctx):
+        result = ext_robustness.run(ctx)
+        fracs = [v[2] for _, v in sorted(result.rows.items())]
+        assert fracs[0] >= fracs[-1]
+
+
+class TestContestWhenIdlePolicy:
+    def test_requires_contest_ipt(self):
+        from repro.cmp.queueing import CmpQueueSimulator
+
+        with pytest.raises(ValueError):
+            CmpQueueSimulator(
+                {"b": {"x": 1.0, "y": 1.0}}, ["x", "y"],
+                policy="contest-when-idle",
+            )
+
+    def test_gangs_at_light_load(self):
+        from repro.cmp.queueing import CmpQueueSimulator, JobStream
+
+        matrix = {"b": {"x": 1.0, "y": 1.0}}
+        sim = CmpQueueSimulator(
+            matrix, ["x", "y"], policy="contest-when-idle",
+            contest_ipt={"b": 1.5},
+        )
+        result = sim.run(JobStream(arrival_rate=1e-7, job_length=1000, jobs=40))
+        assert sim.contested_jobs > 30
+        # ganged service at 1.5 IPT: turnaround ~ 1000/1.5
+        assert result.mean_turnaround_ns < 1000.0
+
+    def test_fallback_identical_when_never_contestable(self):
+        from repro.cmp.queueing import CmpQueueSimulator, JobStream
+
+        matrix = {"b": {"x": 2.0, "y": 1.0}}
+        stream = JobStream(arrival_rate=1e-4, job_length=5000, jobs=80)
+        plain = CmpQueueSimulator(
+            matrix, ["x", "y"], policy="best-available"
+        ).run(stream, seed=5)
+        mode = CmpQueueSimulator(
+            matrix, ["x", "y"], policy="contest-when-idle",
+            contest_ipt={"other": 9.9},
+        ).run(stream, seed=5)
+        assert mode.mean_turnaround_ns == plain.mean_turnaround_ns

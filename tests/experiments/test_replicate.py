@@ -1,0 +1,67 @@
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.replicate import (
+    Replication,
+    fig06_speedups,
+    matrix_diagonal_margin,
+    replicate,
+)
+
+
+class TestReplicationAggregation:
+    def test_mean_and_std(self):
+        rep = Replication(seeds=[1, 2, 3], samples={"x": [1.0, 2.0, 3.0]})
+        assert rep.mean("x") == pytest.approx(2.0)
+        assert rep.std("x") == pytest.approx(1.0)
+
+    def test_single_sample_std_zero(self):
+        rep = Replication(seeds=[1], samples={"x": [5.0]})
+        assert rep.std("x") == 0.0
+
+    def test_render(self):
+        rep = Replication(seeds=[1, 2], samples={"x": [1.0, 3.0]})
+        out = rep.render("title", unit="%")
+        assert "title" in out and "stddev" in out
+
+
+class TestReplicate:
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(lambda ctx: {"a": 1.0}, seeds=())
+
+    def test_metric_rows_must_match(self):
+        calls = []
+
+        def flaky(ctx):
+            calls.append(1)
+            return {"a": 1.0} if len(calls) == 1 else {"b": 1.0}
+
+        with pytest.raises(ValueError):
+            replicate(flaky, scale="tiny", seeds=(1, 2))
+
+    def test_seeds_produce_different_contexts(self):
+        seen = []
+
+        def capture(ctx):
+            seen.append(ctx.scale.seed)
+            return {"a": float(ctx.scale.seed)}
+
+        rep = replicate(capture, scale="tiny", seeds=(3, 9))
+        assert seen == [3, 9]
+        assert rep.samples["a"] == [3.0, 9.0]
+
+
+class TestRealMetrics:
+    def test_diagonal_margin_metric(self):
+        ctx = ExperimentContext(scale="tiny", benchmarks=("gcc", "vpr"))
+        margins = matrix_diagonal_margin(ctx)
+        assert set(margins) == {"gcc", "vpr"}
+        assert all(m > 0 for m in margins.values())
+
+    @pytest.mark.slow
+    def test_fig06_metric_rows(self):
+        ctx = ExperimentContext(scale="tiny")
+        values = fig06_speedups(ctx)
+        assert "AVERAGE" in values
+        assert len(values) == 12  # 11 benchmarks + AVERAGE

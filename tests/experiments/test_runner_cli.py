@@ -1,0 +1,33 @@
+"""Tests of the CLI entry point (argument handling, tee output)."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "enormous"])
+
+    def test_run_single(self, capsys):
+        assert main(["--scale", "tiny", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        assert main(["--scale", "tiny", "table1", "--output", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "Table 1" in text
+        # console still got the output too
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            main(["--scale", "tiny", "fig99"])

@@ -1,0 +1,80 @@
+import pytest
+
+from repro.experiments.sweep import sweep, write_csv
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        rows = sweep(lambda a, b: {"s": a + b}, a=[1, 2], b=[10, 20])
+        assert len(rows) == 4
+        assert {"a": 1, "b": 10, "s": 11} in rows
+        assert {"a": 2, "b": 20, "s": 22} in rows
+
+    def test_single_grid(self):
+        rows = sweep(lambda x: {"y": x * x}, x=[3])
+        assert rows == [{"x": 3, "y": 9}]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(lambda x: {"y": x}, x=[])
+
+    def test_no_grids_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(lambda: {"y": 1})
+
+    def test_non_dict_result_rejected(self):
+        with pytest.raises(TypeError):
+            sweep(lambda x: x, x=[1])
+
+    def test_column_shadowing_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(lambda x: {"x": x}, x=[1])
+
+    def test_deterministic_order(self):
+        rows = sweep(lambda a, b: {"v": 0}, b=[1, 2], a=[3, 4])
+        # names sorted: a varies slowest
+        assert [(r["a"], r["b"]) for r in rows] == [
+            (3, 1), (3, 2), (4, 1), (4, 2)
+        ]
+
+    def test_on_simulator(self, tiny_trace):
+        from repro.core.system import ContestingSystem
+        from repro.uarch.config import core_config
+
+        def run(latency_ns):
+            result = ContestingSystem(
+                [core_config("gcc"), core_config("vpr")], tiny_trace,
+                grb_latency_ns=latency_ns,
+            ).run()
+            return {"ipt": result.ipt}
+
+        rows = sweep(run, latency_ns=[1.0, 100.0])
+        assert rows[0]["ipt"] >= rows[1]["ipt"] * 0.98
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y,z"}]
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        text = path.read_text()
+        assert text.splitlines()[0] == "a,b"
+        assert '"y,z"' in text
+
+    def test_heterogeneous_columns(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+        assert lines[2] == ",2"
+
+    def test_quote_escaping(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv([{"a": 'say "hi"'}], path)
+        assert '"say ""hi"""' in path.read_text()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "out.csv")

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.explore.annealing import simulated_annealing
+from repro.explore.objective import cached
+from repro.explore.space import derive_config
+
+
+def _synthetic_objective(config):
+    """Cheap, deterministic objective: prefers wide, big-ROB, fast cores."""
+    return (
+        config.width * 2.0
+        + (config.rob_size ** 0.5) * 0.3
+        + 1.0 / config.clock_period_ns
+    )
+
+
+class TestSimulatedAnnealing:
+    def test_improves_over_first_sample(self):
+        result = simulated_annealing(_synthetic_objective, steps=150, seed=3)
+        assert result.best_score >= result.trajectory[0][1]
+
+    def test_finds_good_extremes(self):
+        result = simulated_annealing(_synthetic_objective, steps=400, seed=3)
+        best = result.best_config("x")
+        # the synthetic objective is maximised by the widest machines
+        assert best.width >= 6
+
+    def test_deterministic(self):
+        a = simulated_annealing(_synthetic_objective, steps=50, seed=9)
+        b = simulated_annealing(_synthetic_objective, steps=50, seed=9)
+        assert a.best_score == b.best_score
+        assert a.best_genome == b.best_genome
+
+    def test_evaluation_budget(self):
+        result = simulated_annealing(_synthetic_objective, steps=50, seed=1)
+        assert result.evaluations == 51
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            simulated_annealing(_synthetic_objective, steps=0)
+
+    def test_invalid_temps(self):
+        with pytest.raises(ValueError):
+            simulated_annealing(
+                _synthetic_objective, steps=5, initial_temp=0.01, final_temp=0.5
+            )
+
+    def test_best_config_buildable(self):
+        result = simulated_annealing(_synthetic_objective, steps=20, seed=2)
+        cfg = result.best_config("winner")
+        assert cfg.name == "winner"
+        assert cfg.mem_latency >= 1
+
+
+class TestCachedObjective:
+    def test_memoises(self):
+        calls = []
+
+        def counting(config):
+            calls.append(config.fingerprint())
+            return 1.0
+
+        wrapped = cached(counting)
+        cfg = derive_config("c", {
+            "width": 4, "rob_size": 128, "iq_size": 32, "lsq_size": 64,
+            "frontend_depth": 6, "sched_depth": 1, "l1_assoc": 2,
+            "l1_block": 64, "l1_sets": 256, "l2_assoc": 4, "l2_block": 128,
+            "l2_sets": 1024,
+        })
+        wrapped(cfg)
+        wrapped(cfg)
+        assert len(calls) == 1
+
+
+class TestOnSimulator:
+    def test_small_budget_run(self, tiny_trace):
+        """An end-to-end annealing run against the real simulator."""
+        from repro.explore.objective import workload_objective
+
+        result = simulated_annealing(
+            workload_objective(tiny_trace), steps=6, seed=1
+        )
+        assert result.best_score > 0

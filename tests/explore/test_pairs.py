@@ -1,0 +1,72 @@
+import pytest
+
+from repro.explore.pairs import (
+    best_partner_from_palette,
+    contest_score,
+    explore_contesting_pair,
+)
+from repro.uarch.config import core_config
+
+
+class TestContestScore:
+    def test_positive(self, tiny_trace):
+        score = contest_score(
+            core_config("gcc"), core_config("vpr"), tiny_trace
+        )
+        assert score > 0
+
+    def test_deterministic(self, tiny_trace):
+        a = contest_score(core_config("gcc"), core_config("vpr"), tiny_trace)
+        b = contest_score(core_config("gcc"), core_config("vpr"), tiny_trace)
+        assert a == b
+
+
+class TestBestPartner:
+    def test_picks_a_partner(self, tiny_trace):
+        partner, score = best_partner_from_palette(
+            core_config("gcc"),
+            [core_config(n) for n in ("vpr", "twolf", "mcf")],
+            tiny_trace,
+        )
+        assert partner.name in ("vpr", "twolf", "mcf")
+        assert score > 0
+
+    def test_skips_identical(self, tiny_trace):
+        partner, _ = best_partner_from_palette(
+            core_config("gcc"),
+            [core_config("gcc"), core_config("vpr")],
+            tiny_trace,
+        )
+        assert partner.name == "vpr"
+
+    def test_all_identical_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            best_partner_from_palette(
+                core_config("gcc"), [core_config("gcc")], tiny_trace
+            )
+
+    def test_empty_candidates(self, tiny_trace):
+        with pytest.raises(ValueError):
+            best_partner_from_palette(core_config("gcc"), [], tiny_trace)
+
+
+class TestJointAnnealing:
+    def test_small_budget_runs(self, tiny_trace):
+        result = explore_contesting_pair(tiny_trace, steps=4, seed=1)
+        assert result.best_score > 0
+        assert result.evaluations == 5
+        a, b = result.best_configs()
+        assert a.name == "pair_a" and b.name == "pair_b"
+
+    def test_deterministic(self, tiny_trace):
+        a = explore_contesting_pair(tiny_trace, steps=3, seed=2)
+        b = explore_contesting_pair(tiny_trace, steps=3, seed=2)
+        assert a.best_score == b.best_score
+
+    def test_invalid_steps(self, tiny_trace):
+        with pytest.raises(ValueError):
+            explore_contesting_pair(tiny_trace, steps=0)
+
+    def test_improves_or_holds(self, tiny_trace):
+        result = explore_contesting_pair(tiny_trace, steps=8, seed=3)
+        assert result.best_score >= result.trajectory[0][1]

@@ -1,0 +1,114 @@
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.space import (
+    DRAM_NS,
+    GENOME_KEYS,
+    PALETTES,
+    DesignSpace,
+    derive_config,
+    random_config,
+)
+
+genomes = st.fixed_dictionaries(
+    {k: st.sampled_from(v) for k, v in PALETTES.items()}
+)
+
+
+class TestDeriveConfig:
+    @settings(max_examples=60, deadline=None)
+    @given(genomes)
+    def test_any_genome_valid(self, genome):
+        cfg = derive_config("c", genome)
+        assert cfg.clock_period_ns >= 0.15
+        assert cfg.l1.latency >= 1
+        assert cfg.l2.latency >= 2
+        assert cfg.mem_latency >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(genomes)
+    def test_memory_time_constant(self, genome):
+        cfg = derive_config("c", genome)
+        ns = cfg.mem_latency * cfg.clock_period_ns
+        assert abs(ns - DRAM_NS) < cfg.clock_period_ns  # rounding only
+
+    def test_deeper_pipe_faster_clock(self):
+        base = {k: v[0] for k, v in PALETTES.items()}
+        shallow = dict(base, frontend_depth=4, sched_depth=1)
+        deep = dict(base, frontend_depth=12, sched_depth=4)
+        assert (
+            derive_config("d", deep).clock_period_ns
+            < derive_config("s", shallow).clock_period_ns
+        )
+
+    def test_wider_slower_clock(self):
+        base = {k: v[0] for k, v in PALETTES.items()}
+        narrow = dict(base, width=3)
+        wide = dict(base, width=8)
+        assert (
+            derive_config("w", wide).clock_period_ns
+            > derive_config("n", narrow).clock_period_ns
+        )
+
+    def test_awaken_tracks_sched_depth(self):
+        base = {k: v[0] for k, v in PALETTES.items()}
+        cfg = derive_config("a", dict(base, sched_depth=4))
+        assert cfg.awaken_latency == 3
+
+    def test_bigger_cache_higher_latency(self):
+        base = {k: v[0] for k, v in PALETTES.items()}
+        small = dict(base, l1_sets=128, l1_block=8, l1_assoc=1)
+        big = dict(base, l1_sets=32768, l1_block=64, l1_assoc=4)
+        assert (
+            derive_config("b", big).l1.latency
+            >= derive_config("s", small).l1.latency
+        )
+
+
+class TestDesignSpace:
+    def test_random_genome_in_palettes(self):
+        space = DesignSpace()
+        genome = space.random_genome(random.Random(1))
+        for key, value in genome.items():
+            assert value in PALETTES[key]
+
+    def test_neighbour_single_step(self):
+        space = DesignSpace()
+        rng = random.Random(2)
+        genome = space.random_genome(rng)
+        for _ in range(50):
+            new = space.neighbour(genome, rng)
+            changed = [k for k in GENOME_KEYS if new[k] != genome[k]]
+            assert len(changed) == 1
+            key = changed[0]
+            palette = PALETTES[key]
+            old_idx = palette.index(genome[key])
+            new_idx = palette.index(new[key])
+            assert abs(new_idx - old_idx) == 1
+            genome = new
+
+    def test_neighbour_does_not_mutate_input(self):
+        space = DesignSpace()
+        rng = random.Random(3)
+        genome = space.random_genome(rng)
+        snapshot = dict(genome)
+        space.neighbour(genome, rng)
+        assert genome == snapshot
+
+    def test_size(self):
+        space = DesignSpace()
+        expected = 1
+        for v in PALETTES.values():
+            expected *= len(v)
+        assert space.size() == expected
+
+
+class TestRandomConfig:
+    def test_deterministic(self):
+        assert random_config("a", 5).fingerprint() == random_config("a", 5).fingerprint()
+
+    def test_named(self):
+        assert random_config("mycore", 1).name == "mycore"

@@ -1,0 +1,69 @@
+"""Tests of the repro-sim / repro-trace command-line tools."""
+
+import pytest
+
+from repro.cli import sim_main, trace_main
+
+
+class TestReproSim:
+    def test_standalone(self, capsys):
+        assert sim_main(["gcc", "--core", "gcc", "--length", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPT" in out and "IPC" in out
+
+    def test_default_core_is_own(self, capsys):
+        assert sim_main(["gzip", "--length", "1500"]) == 0
+        assert "gzip on gzip" in capsys.readouterr().out
+
+    def test_contest(self, capsys):
+        assert sim_main(
+            ["gcc", "--core", "gcc", "--core", "vpr", "--length", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "contested" in out
+        assert "lead changes" in out
+
+    def test_resync_policy_flag(self, capsys):
+        assert sim_main(
+            ["gcc", "--core", "gcc", "--core", "mcf", "--length", "1500",
+             "--lagger-policy", "resync"]
+        ) == 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            sim_main(["eon", "--core", "gcc"])
+
+    def test_trace_file_input(self, tmp_path, capsys):
+        out = tmp_path / "t.rtrc"
+        trace_main(["generate", "gap", "--length", "1500", "--out", str(out)])
+        capsys.readouterr()
+        assert sim_main([str(out), "--core", "gap"]) == 0
+        assert "gap on gap" in capsys.readouterr().out
+
+
+class TestReproTrace:
+    def test_generate_and_info(self, tmp_path, capsys):
+        out = tmp_path / "t.rtrc"
+        assert trace_main(
+            ["generate", "gcc", "--length", "1200", "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert trace_main(["info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "1200 instructions" in text
+
+    def test_characterize_profile(self, capsys):
+        assert trace_main(["characterize", "perl", "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "ideal ILP" in out
+
+    def test_characterize_file(self, tmp_path, capsys):
+        out = tmp_path / "t.rtrc"
+        trace_main(["generate", "mcf", "--length", "1500", "--out", str(out)])
+        capsys.readouterr()
+        assert trace_main(["characterize", str(out)]) == 0
+        assert "Characterisation" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            trace_main([])

@@ -1,0 +1,91 @@
+"""Cross-module integration invariants."""
+
+import pytest
+
+from repro import (
+    BENCHMARKS,
+    ContestingSystem,
+    core_config,
+    generate_trace,
+    run_contest,
+    run_standalone,
+    workload_profile,
+)
+from repro.util.stats import percent_change
+
+
+class TestPublicApi:
+    def test_quickstart_flow(self):
+        trace = generate_trace(workload_profile("gcc"), 2000, seed=11)
+        alone = run_standalone(core_config("gcc"), trace)
+        both = run_contest(core_config("gcc"), core_config("vpr"), trace)
+        assert alone.ipt > 0 and both.ipt > 0
+
+    def test_all_that_is_exported_exists(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+
+class TestTimingConsistency:
+    def test_contest_time_between_cores(self, small_trace):
+        """Contested completion is at least as fast as the faster core's
+        commit stream could deliver alone, minus model noise, and cannot be
+        faster than a per-region oracle."""
+        gcc, vpr = core_config("gcc"), core_config("vpr")
+        t_gcc = run_standalone(gcc, small_trace).time_ps
+        t_vpr = run_standalone(vpr, small_trace).time_ps
+        both = run_contest(gcc, vpr, small_trace)
+        assert both.time_ps <= max(t_gcc, t_vpr) * 1.02
+        # a 5% better-than-everything bound would require oracle math; the
+        # cheap sanity bound is the per-run minimum with generous headroom
+        assert both.time_ps >= min(t_gcc, t_vpr) * 0.5
+
+    def test_winner_stats_account_for_trace(self, small_trace):
+        result = run_contest(
+            core_config("gcc"), core_config("vpr"), small_trace
+        )
+        winner_key = [
+            k for k in result.per_core if k.endswith(result.winner)
+        ][0]
+        assert result.per_core[winner_key].committed == len(small_trace)
+
+
+class TestInjectionAblation:
+    def test_injection_is_what_keeps_laggers_close(self, small_trace):
+        """With a huge GRB latency, results arrive too late to inject; the
+        follower must execute everything itself."""
+        gcc, gap = core_config("gcc"), core_config("gap")
+        near = run_contest(gcc, gap, small_trace, grb_latency_ns=1.0)
+        far = run_contest(gcc, gap, small_trace, grb_latency_ns=10_000.0)
+        near_inj = near.per_core["1:gap"].injected
+        far_inj = far.per_core["1:gap"].injected
+        assert far_inj < near_inj
+
+
+class TestEveryBenchmarkEndToEnd:
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_standalone_and_contested(self, bench):
+        trace = generate_trace(workload_profile(bench), 1500, seed=2)
+        own = run_standalone(core_config(bench), trace)
+        assert own.instructions == 1500
+        partner = "gcc" if bench != "gcc" else "vpr"
+        result = run_contest(
+            core_config(bench), core_config(partner), trace
+        )
+        assert result.instructions == 1500
+        # contesting with the own core participating should not collapse
+        assert percent_change(result.ipt, own.ipt) > -15.0
+
+
+class TestNWayOrdering:
+    def test_more_cores_never_much_worse(self, small_trace):
+        two = ContestingSystem(
+            [core_config("gcc"), core_config("vpr")], small_trace
+        ).run()
+        three = ContestingSystem(
+            [core_config("gcc"), core_config("vpr"), core_config("twolf")],
+            small_trace,
+        ).run()
+        assert three.ipt >= two.ipt * 0.95

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion.
+
+The slowest examples (full matrix builds) are exercised with a generous
+timeout; they are part of the public deliverable and must not rot.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST = [
+    "quickstart.py",
+    "oracle_switching.py",
+    "latency_sensitivity.py",
+    "trace_report.py",
+]
+SLOW = [
+    "design_cmp.py",
+    "explore_core.py",
+    "customize_for_contesting.py",
+    "multiprogram_queueing.py",
+]
+
+
+def _run(name, timeout):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example(name):
+    result = _run(name, timeout=240)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_example(name):
+    result = _run(name, timeout=600)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_all_examples_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW)

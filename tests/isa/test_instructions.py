@@ -1,0 +1,51 @@
+from repro.isa.instructions import MEMORY_OPS, PRODUCING_OPS, Instr, OpClass
+
+
+class TestOpClass:
+    def test_values_stable(self):
+        # the core's hot loop mirrors these integers; they must not move
+        assert OpClass.IALU == 0
+        assert OpClass.IMUL == 1
+        assert OpClass.IDIV == 2
+        assert OpClass.LOAD == 3
+        assert OpClass.STORE == 4
+        assert OpClass.BRANCH == 5
+        assert OpClass.SYSCALL == 6
+        assert OpClass.NOP == 7
+
+    def test_producing_ops(self):
+        assert OpClass.LOAD in PRODUCING_OPS
+        assert OpClass.IALU in PRODUCING_OPS
+        assert OpClass.STORE not in PRODUCING_OPS
+        assert OpClass.BRANCH not in PRODUCING_OPS
+
+    def test_memory_ops(self):
+        assert MEMORY_OPS == {OpClass.LOAD, OpClass.STORE}
+
+
+class TestInstr:
+    def test_defaults(self):
+        i = Instr(OpClass.IALU, pc=0x1000)
+        assert i.dep1 == -1 and i.dep2 == -1
+        assert i.addr == 0 and i.taken is False
+
+    def test_produces(self):
+        assert Instr(OpClass.LOAD, 0).produces
+        assert Instr(OpClass.IMUL, 0).produces
+        assert not Instr(OpClass.STORE, 0).produces
+        assert not Instr(OpClass.BRANCH, 0).produces
+        assert not Instr(OpClass.SYSCALL, 0).produces
+
+    def test_is_mem(self):
+        assert Instr(OpClass.LOAD, 0).is_mem
+        assert Instr(OpClass.STORE, 0).is_mem
+        assert not Instr(OpClass.IALU, 0).is_mem
+
+    def test_repr(self):
+        i = Instr(OpClass.BRANCH, pc=0x40, taken=True)
+        assert "BRANCH" in repr(i)
+        assert "taken=True" in repr(i)
+
+    def test_slots(self):
+        i = Instr(OpClass.IALU, 0)
+        assert not hasattr(i, "__dict__")

@@ -1,0 +1,70 @@
+"""Tests of the explicit Markov transition matrices in PhaseMix."""
+
+import pytest
+
+from repro.isa.generator import generate_trace
+from repro.isa.phases import PhaseMix, branchy_phase, wide_ilp_phase
+
+
+def _phases():
+    return [
+        (wide_ilp_phase("a", mean_dwell=50), 1.0),
+        (branchy_phase("b", mean_dwell=50), 1.0),
+    ]
+
+
+class TestValidation:
+    def test_matrix_must_be_square(self):
+        with pytest.raises(ValueError, match="transition matrix"):
+            PhaseMix("m", _phases(), transitions=[[1.0]])
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            PhaseMix("m", _phases(), transitions=[[0.5, 0.4], [0.5, 0.5]])
+
+    def test_no_negative_probabilities(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            PhaseMix("m", _phases(), transitions=[[1.5, -0.5], [0.5, 0.5]])
+
+    def test_valid_matrix_accepted(self):
+        mix = PhaseMix("m", _phases(), transitions=[[0.9, 0.1], [0.1, 0.9]])
+        assert mix.transitions is not None
+
+
+class TestBehaviour:
+    def test_strict_alternation(self):
+        # a permutation matrix forces a->b->a->b...
+        mix = PhaseMix("m", _phases(), transitions=[[0.0, 1.0], [1.0, 0.0]])
+        trace = generate_trace(mix, 3000, seed=4)
+        # distinguish phases by pc base (index 0 -> 1<<20, 1 -> 2<<20)
+        bases = [instr.pc >> 20 for instr in trace]
+        # reconstruct the phase at each recorded boundary
+        boundary_phases = [bases[start] for start in trace.phase_starts]
+        for a, b in zip(boundary_phases, boundary_phases[1:]):
+            assert a != b
+
+    def test_sticky_chain_lengthens_dwell(self):
+        sticky = PhaseMix(
+            "m", _phases(), transitions=[[0.95, 0.05], [0.05, 0.95]]
+        )
+        flippy = PhaseMix(
+            "m", _phases(), transitions=[[0.05, 0.95], [0.95, 0.05]]
+        )
+        t_sticky = generate_trace(sticky, 20_000, seed=4)
+        t_flippy = generate_trace(flippy, 20_000, seed=4)
+        assert len(t_sticky.phase_starts) < len(t_flippy.phase_starts)
+
+    def test_absorbing_state(self):
+        # once in phase b, never leaves
+        mix = PhaseMix("m", _phases(), transitions=[[0.0, 1.0], [0.0, 1.0]])
+        trace = generate_trace(mix, 5000, seed=4)
+        boundary_phases = [
+            trace[start].pc >> 20 for start in trace.phase_starts
+        ]
+        # after the first transition to b (base 2), it never changes back
+        assert len(trace.phase_starts) <= 2
+
+    def test_default_behaviour_unchanged(self):
+        plain = PhaseMix("m", _phases())
+        trace = generate_trace(plain, 5000, seed=4)
+        assert len(trace.phase_starts) > 5

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.isa.phases import (
+    PHASE_TEMPLATES,
+    PhaseMix,
+    PhaseType,
+    branchy_phase,
+    compute_mul_phase,
+    pointer_chase_phase,
+    serial_chain_phase,
+    stream_phase,
+    wide_ilp_phase,
+    windowed_mem_phase,
+)
+
+ALL_FACTORIES = [
+    wide_ilp_phase,
+    serial_chain_phase,
+    pointer_chase_phase,
+    windowed_mem_phase,
+    stream_phase,
+    branchy_phase,
+    compute_mul_phase,
+]
+
+
+class TestPhaseTypeValidation:
+    def test_mix_over_one_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseType("bad", load_frac=0.6, store_frac=0.5)
+
+    def test_bias_range(self):
+        with pytest.raises(ValueError):
+            PhaseType("bad", branch_bias=0.3)
+        with pytest.raises(ValueError):
+            PhaseType("bad", branch_bias=1.01)
+
+    def test_footprint_positive(self):
+        with pytest.raises(ValueError):
+            PhaseType("bad", footprint=0)
+
+    def test_stride_positive(self):
+        with pytest.raises(ValueError):
+            PhaseType("bad", stride=0)
+
+    def test_dwell_positive(self):
+        with pytest.raises(ValueError):
+            PhaseType("bad", mean_dwell=0)
+
+    def test_dep_window(self):
+        with pytest.raises(ValueError):
+            PhaseType("bad", dep_window=0)
+
+    def test_body_size(self):
+        with pytest.raises(ValueError):
+            PhaseType("bad", body_size=2)
+
+    def test_frozen(self):
+        p = PhaseType("p")
+        with pytest.raises(Exception):
+            p.load_frac = 0.5
+
+
+class TestFactories:
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_factory_defaults_valid(self, factory):
+        phase = factory()
+        assert isinstance(phase, PhaseType)
+        assert phase.mean_dwell >= 1
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_factory_overrides(self, factory):
+        phase = factory("custom", footprint=4096, mean_dwell=99)
+        assert phase.name == "custom"
+        assert phase.footprint == 4096
+        assert phase.mean_dwell == 99
+
+    def test_pointer_chase_flag(self):
+        assert pointer_chase_phase().pointer_chase
+        assert not stream_phase().pointer_chase
+
+    def test_templates_list(self):
+        assert len(PHASE_TEMPLATES) == 7
+
+
+class TestPhaseMix:
+    def test_needs_entries(self):
+        with pytest.raises(ValueError):
+            PhaseMix("empty", [])
+
+    def test_unique_names(self):
+        p = wide_ilp_phase("a")
+        with pytest.raises(ValueError):
+            PhaseMix("dup", [(p, 1.0), (p, 2.0)])
+
+    def test_positive_weights(self):
+        with pytest.raises(ValueError):
+            PhaseMix("neg", [(wide_ilp_phase("a"), -1.0)])
+
+    def test_accessors(self):
+        mix = PhaseMix(
+            "m", [(wide_ilp_phase("a"), 1.0), (branchy_phase("b"), 2.0)]
+        )
+        assert [p.name for p in mix.phase_types] == ["a", "b"]
+        assert mix.weights == [1.0, 2.0]

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.isa.serialize import FORMAT_VERSION, load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_identical_after_reload(self, small_trace, tmp_path):
+        path = tmp_path / "t.rtrc"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == small_trace.name
+        assert loaded.seed == small_trace.seed
+        assert loaded.phase_starts == small_trace.phase_starts
+        assert len(loaded) == len(small_trace)
+        for a, b in zip(small_trace, loaded):
+            assert (a.op, a.pc, a.dep1, a.dep2, a.addr, a.taken) == (
+                b.op, b.pc, b.dep1, b.dep2, b.addr, b.taken
+            )
+
+    def test_simulation_identical_on_reload(self, small_trace, tmp_path, gcc_core):
+        from repro.uarch.run import run_standalone
+
+        path = tmp_path / "t.rtrc"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert (
+            run_standalone(gcc_core, loaded).time_ps
+            == run_standalone(gcc_core, small_trace).time_ps
+        )
+
+    def test_file_is_compact(self, small_trace, tmp_path):
+        path = tmp_path / "t.rtrc"
+        save_trace(small_trace, path)
+        # 34 bytes/instruction + header
+        assert path.stat().st_size < len(small_trace) * 40 + 1024
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rtrc"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="magic"):
+            load_trace(path)
+
+    def test_bad_version(self, small_trace, tmp_path):
+        import json
+
+        path = tmp_path / "t.rtrc"
+        save_trace(small_trace, path)
+        blob = path.read_bytes()
+        header_len = int.from_bytes(blob[4:8], "little")
+        header = json.loads(blob[8 : 8 + header_len].decode())
+        header["version"] = FORMAT_VERSION + 1
+        new_header = json.dumps(header).encode()
+        path.write_bytes(
+            blob[:4]
+            + len(new_header).to_bytes(4, "little")
+            + new_header
+            + blob[8 + header_len:]
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nothing.rtrc")

@@ -1,0 +1,118 @@
+import pytest
+
+from repro.isa.generator import generate_trace
+from repro.isa.instructions import Instr, OpClass
+from repro.isa.phases import (
+    PhaseMix,
+    branchy_phase,
+    pointer_chase_phase,
+    serial_chain_phase,
+    stream_phase,
+    wide_ilp_phase,
+)
+from repro.isa.stats import characterize, working_set_curve
+from repro.isa.trace import Trace
+
+
+def _mix(phase):
+    return PhaseMix("m", [(phase, 1.0)])
+
+
+class TestCharacterize:
+    def test_mix_sums_to_one(self, small_trace):
+        ch = characterize(small_trace)
+        assert sum(ch.mix.values()) == pytest.approx(1.0)
+
+    def test_serial_trace_low_ilp(self):
+        serial = generate_trace(
+            _mix(serial_chain_phase(chain_frac=1.0, dep1_frac=1.0,
+                                    load_frac=0, store_frac=0, branch_frac=0,
+                                    two_src_frac=0, mean_dwell=10**9)),
+            2000, seed=1,
+        )
+        ch = characterize(serial)
+        assert ch.ilp_ideal < 1.5
+        assert ch.dep_frac > 0.95
+
+    def test_ilp_trace_high_ilp(self):
+        ilp = generate_trace(
+            _mix(wide_ilp_phase(dep1_frac=0.05, two_src_frac=0.02,
+                                mean_dwell=10**9)),
+            2000, seed=1,
+        )
+        assert characterize(ilp).ilp_ideal > 10
+
+    def test_branch_entropy_orders_predictability(self):
+        good = generate_trace(
+            _mix(branchy_phase(branch_bias=0.99, mean_dwell=10**9)), 4000, seed=1
+        )
+        bad = generate_trace(
+            _mix(branchy_phase(branch_bias=0.6, mean_dwell=10**9)), 4000, seed=1
+        )
+        assert (
+            characterize(bad).branch_entropy_bits
+            > characterize(good).branch_entropy_bits
+        )
+
+    def test_stream_is_spatial(self):
+        stream = generate_trace(
+            _mix(stream_phase(seq_frac=1.0, stride=8, mean_dwell=10**9)),
+            2000, seed=1,
+        )
+        assert characterize(stream).spatial_frac > 0.8
+
+    def test_chase_footprint_scales(self):
+        small = generate_trace(
+            _mix(pointer_chase_phase(footprint=4096, mean_dwell=10**9)),
+            3000, seed=1,
+        )
+        big = generate_trace(
+            _mix(pointer_chase_phase(footprint=1 << 20, mean_dwell=10**9)),
+            3000, seed=1,
+        )
+        assert (
+            characterize(big).footprint_blocks
+            > characterize(small).footprint_blocks
+        )
+
+    def test_reuse_high_for_tiny_footprint(self):
+        tiny = generate_trace(
+            _mix(pointer_chase_phase(footprint=1024, mean_dwell=10**9)),
+            2000, seed=1,
+        )
+        assert characterize(tiny).reuse_short > 0.8
+
+    def test_rows_renderable(self, small_trace):
+        rows = characterize(small_trace).rows()
+        assert len(rows) == 11
+        assert all(len(r) == 2 for r in rows)
+
+    def test_no_branches_no_entropy(self):
+        t = Trace("x", [Instr(OpClass.IALU, 0) for _ in range(10)])
+        ch = characterize(t)
+        assert ch.branch_entropy_bits == 0.0
+        assert ch.taken_frac == 0.0
+
+    def test_phase_bookkeeping(self, small_trace):
+        ch = characterize(small_trace)
+        assert ch.phase_transitions == len(small_trace.phase_starts) - 1
+        assert ch.mean_phase_dwell > 0
+
+
+class TestWorkingSetCurve:
+    def test_monotone_in_window(self, memory_trace):
+        curve = working_set_curve(memory_trace, (64, 256, 1024))
+        assert curve[64] <= curve[256] <= curve[1024]
+
+    def test_no_memory_ops(self):
+        t = Trace("x", [Instr(OpClass.IALU, 0) for _ in range(10)])
+        curve = working_set_curve(t, (16,))
+        assert curve == {16: 0.0}
+
+    def test_invalid_window(self, memory_trace):
+        with pytest.raises(ValueError):
+            working_set_curve(memory_trace, (0,))
+
+    def test_bounded_by_window(self, memory_trace):
+        curve = working_set_curve(memory_trace, (128,))
+        assert curve[128] <= 128

@@ -1,0 +1,71 @@
+import pytest
+
+from repro.isa.instructions import Instr, OpClass
+from repro.isa.trace import Trace
+
+
+def _make_trace(n=100):
+    instrs = []
+    for i in range(n):
+        if i % 10 == 0:
+            instrs.append(Instr(OpClass.LOAD, pc=4 * i, addr=64 * i))
+        elif i % 10 == 5:
+            instrs.append(Instr(OpClass.BRANCH, pc=4 * i, taken=i % 20 == 5))
+        else:
+            instrs.append(Instr(OpClass.IALU, pc=4 * i))
+    return Trace("t", instrs, seed=1, phase_starts=[0, 50])
+
+
+class TestTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("empty", [])
+
+    def test_len_and_indexing(self):
+        t = _make_trace(100)
+        assert len(t) == 100
+        assert t[0].op == OpClass.LOAD
+        assert t[1].op == OpClass.IALU
+
+    def test_iteration(self):
+        t = _make_trace(30)
+        assert sum(1 for _ in t) == 30
+
+    def test_regions_exact(self):
+        t = _make_trace(100)
+        regions = list(t.regions(20))
+        assert len(regions) == 5
+        assert all(len(r) == 20 for r in regions)
+
+    def test_regions_partial_tail(self):
+        t = _make_trace(105)
+        regions = list(t.regions(20))
+        assert len(regions) == 6
+        assert len(regions[-1]) == 5
+
+    def test_regions_invalid(self):
+        with pytest.raises(ValueError):
+            list(_make_trace().regions(0))
+
+    def test_op_histogram(self):
+        t = _make_trace(100)
+        hist = t.op_histogram()
+        assert sum(hist.values()) == 100
+        assert hist[OpClass.LOAD] == 10
+        assert hist[OpClass.BRANCH] == 10
+
+    def test_branch_count(self):
+        assert _make_trace(100).branch_count() == 10
+
+    def test_memory_footprint(self):
+        t = _make_trace(100)
+        # loads at addresses 0, 640, 1280 ... 64*90 -> 10 distinct 64B blocks
+        assert t.memory_footprint(block=64) == 10
+        assert t.memory_footprint(block=1024) <= 10
+
+    def test_memory_footprint_invalid_block(self):
+        with pytest.raises(ValueError):
+            _make_trace().memory_footprint(block=0)
+
+    def test_repr(self):
+        assert "len=100" in repr(_make_trace(100))

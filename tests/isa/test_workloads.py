@@ -1,0 +1,50 @@
+import pytest
+
+from repro.isa.generator import generate_trace
+from repro.isa.workloads import BENCHMARKS, all_profiles, workload_profile
+
+
+class TestWorkloadProfiles:
+    def test_eleven_benchmarks(self):
+        assert len(BENCHMARKS) == 11
+        assert "eon" not in BENCHMARKS  # excluded in the paper too
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_profile_exists_and_named(self, bench):
+        mix = workload_profile(bench)
+        assert mix.name == bench
+        assert len(mix.entries) >= 3  # anchor + contrast + flavour
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            workload_profile("eon")
+
+    def test_all_profiles_order(self):
+        assert [m.name for m in all_profiles()] == list(BENCHMARKS)
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_shared_heap_region(self, bench):
+        mix = workload_profile(bench)
+        assert all(p.region == "heap" for p, _ in mix.entries)
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    def test_generatable(self, bench):
+        trace = generate_trace(workload_profile(bench), 500, seed=1)
+        assert len(trace) == 500
+
+    def test_dwell_scale_applied(self):
+        from repro.isa.workloads import DWELL_SCALE
+
+        assert DWELL_SCALE >= 2
+        mix = workload_profile("gcc")
+        # template dwells are a few hundred; scaled dwells are near 10^3
+        assert all(p.mean_dwell >= 400 for p, _ in mix.entries)
+
+    def test_profiles_are_distinct(self):
+        fingerprints = set()
+        for bench in BENCHMARKS:
+            mix = workload_profile(bench)
+            fingerprints.add(
+                tuple((p.name, p.footprint, w) for p, w in mix.entries)
+            )
+        assert len(fingerprints) == 11

@@ -1,0 +1,97 @@
+import dataclasses
+
+import pytest
+
+from repro.core.system import run_contest
+from repro.power.model import EnergyModel, contest_energy, standalone_energy
+from repro.uarch.config import core_config
+from repro.uarch.run import run_standalone
+
+
+@pytest.fixture(scope="module")
+def alone(request):
+    small_trace = request.getfixturevalue("small_trace")
+    return run_standalone(core_config("gcc"), small_trace)
+
+
+class TestStandaloneEnergy:
+    def test_positive_components(self, small_trace, gcc_core):
+        result = run_standalone(gcc_core, small_trace)
+        e = standalone_energy(result, gcc_core)
+        assert e.dynamic_nj > 0
+        assert e.leakage_nj > 0
+        assert e.grb_nj == 0.0
+        assert e.total_nj == pytest.approx(
+            e.dynamic_nj + e.leakage_nj
+        )
+
+    def test_uses_real_cache_stats(self, small_trace, gcc_core):
+        result = run_standalone(gcc_core, small_trace)
+        assert result.stats.l1_accesses > 0
+        with_real = standalone_energy(result, gcc_core)
+        with_override = standalone_energy(
+            result, gcc_core, l1_accesses=1, l1_misses=1, l2_misses=1
+        )
+        assert with_real.dynamic_nj != with_override.dynamic_nj
+
+    def test_bigger_core_leaks_more(self, small_trace):
+        big = core_config("mcf")      # ROB 1024 + 4MB L2
+        small = core_config("gzip")   # ROB 64 + 512KB L2
+        r_big = run_standalone(big, small_trace)
+        r_small = run_standalone(small, small_trace)
+        m = EnergyModel()
+        per_ns_big = standalone_energy(r_big, big, m).leakage_nj / (r_big.time_ps / 1000)
+        per_ns_small = standalone_energy(r_small, small, m).leakage_nj / (r_small.time_ps / 1000)
+        assert per_ns_big > per_ns_small
+
+    def test_energy_delay(self, small_trace, gcc_core):
+        result = run_standalone(gcc_core, small_trace)
+        e = standalone_energy(result, gcc_core)
+        assert e.energy_delay(result.time_ps / 1000.0) > e.total_nj
+
+    def test_model_coefficients_scale(self, small_trace, gcc_core):
+        result = run_standalone(gcc_core, small_trace)
+        base = standalone_energy(result, gcc_core)
+        doubled = standalone_energy(
+            result, gcc_core,
+            model=EnergyModel(fetch_pj=4.0),
+        )
+        assert doubled.dynamic_nj > base.dynamic_nj
+
+
+class TestContestEnergy:
+    def test_costs_more_than_one_core(self, small_trace, gcc_core):
+        vpr = core_config("vpr")
+        alone = run_standalone(gcc_core, small_trace)
+        both = run_contest(gcc_core, vpr, small_trace)
+        e_alone = standalone_energy(alone, gcc_core)
+        e_both = contest_energy(both, {"gcc": gcc_core, "vpr": vpr})
+        assert 1.3 < e_both.total_nj / e_alone.total_nj < 3.5
+
+    def test_grb_energy_scales_with_latency(self, small_trace, gcc_core):
+        vpr = core_config("vpr")
+        both = run_contest(gcc_core, vpr, small_trace)
+        configs = {"gcc": gcc_core, "vpr": vpr}
+        near = contest_energy(both, configs, grb_latency_ns=1.0)
+        far = contest_energy(both, configs, grb_latency_ns=100.0)
+        assert far.grb_nj > near.grb_nj
+        assert far.dynamic_nj == near.dynamic_nj
+
+    def test_injection_saves_execution_energy(self, small_trace, gcc_core):
+        """A deeply trailing core pays no FU/wakeup energy for injected
+        instructions, so its per-instruction pipeline energy is lower."""
+        gap = core_config("gap")
+        both = run_contest(gcc_core, gap, small_trace)
+        gap_stats = both.per_core["1:gap"]
+        assert gap_stats.injected > 0
+        m = EnergyModel()
+        with_inj = m._per_instr_pj(gap, gap_stats.injected / max(1, gap_stats.committed), 0.1)
+        without = m._per_instr_pj(gap, 0.0, 0.1)
+        assert with_inj < without
+
+    def test_component_breakdown_keys(self, small_trace, gcc_core):
+        vpr = core_config("vpr")
+        both = run_contest(gcc_core, vpr, small_trace)
+        e = contest_energy(both, {"gcc": gcc_core, "vpr": vpr})
+        assert any(k.startswith("gcc.") for k in e.components)
+        assert any(k.startswith("vpr.") for k in e.components)

@@ -1,0 +1,48 @@
+"""Documentation hygiene: every public item carries a docstring.
+
+The deliverable includes doc comments on every public item; this test keeps
+that true as the library evolves.  Private names (leading underscore) and
+re-exports are exempt.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if "__main__" not in name
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its definition site
+        if not inspect.getdoc(obj):
+            missing.append(name)
+        elif inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not inspect.getdoc(meth):
+                    missing.append(f"{name}.{meth_name}")
+    assert not missing, f"{module_name}: undocumented public items {missing}"

@@ -1,0 +1,101 @@
+import random
+
+import pytest
+
+from repro.uarch.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    HybridPredictor,
+    make_predictor,
+)
+
+ALL = [BimodalPredictor, GsharePredictor, HybridPredictor]
+
+
+def _accuracy(predictor, stream):
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+def _biased_stream(n=2000, bias=0.95, n_pcs=8, seed=1):
+    rng = random.Random(seed)
+    dirs = {0x100 + 4 * i: rng.random() < 0.5 for i in range(n_pcs)}
+    pcs = list(dirs)
+    return [
+        (pc, dirs[pc] if rng.random() < bias else not dirs[pc])
+        for pc in (pcs[i % n_pcs] for i in range(n))
+        for _ in [0]
+    ]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", ALL)
+    def test_power_of_two_entries(self, cls):
+        with pytest.raises(ValueError):
+            cls(entries=1000)
+
+    def test_gshare_history_bits(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+
+
+class TestLearning:
+    @pytest.mark.parametrize("cls", ALL)
+    def test_learns_biased_branches(self, cls):
+        acc = _accuracy(cls(), _biased_stream(bias=0.97))
+        assert acc > 0.90
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_learns_constant_branch(self, cls):
+        p = cls()
+        stream = [(0x40, True)] * 200
+        assert _accuracy(p, stream) > 0.95
+
+    def test_gshare_learns_alternating_pattern(self):
+        # T,N,T,N ... defeats bimodal but gshare's history captures it
+        stream = [(0x40, i % 2 == 0) for i in range(2000)]
+        gshare = _accuracy(GsharePredictor(), stream)
+        bimodal = _accuracy(BimodalPredictor(), stream)
+        assert gshare > 0.9
+        assert gshare > bimodal
+
+    def test_hybrid_tracks_better_component(self):
+        stream = [(0x40, i % 2 == 0) for i in range(2000)]
+        hybrid = _accuracy(HybridPredictor(), stream)
+        assert hybrid > 0.85
+
+
+class TestBimodalCounters:
+    def test_hysteresis(self):
+        p = BimodalPredictor()
+        for _ in range(4):
+            p.update(0x40, True)
+        # one contrary outcome must not flip a saturated counter
+        p.update(0x40, False)
+        assert p.predict(0x40) is True
+
+    def test_flips_after_two(self):
+        p = BimodalPredictor()
+        for _ in range(4):
+            p.update(0x40, True)
+        p.update(0x40, False)
+        p.update(0x40, False)
+        assert p.predict(0x40) is False
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("bimodal", BimodalPredictor),
+        ("gshare", GsharePredictor),
+        ("hybrid", HybridPredictor),
+    ])
+    def test_make(self, kind, cls):
+        assert isinstance(make_predictor(kind), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_predictor("perceptron")

@@ -1,0 +1,132 @@
+import dataclasses
+
+import pytest
+
+from repro.uarch.cache import CacheConfig
+from repro.uarch.config import APPENDIX_A_CORES, CoreConfig, core_config
+
+
+class TestAppendixA:
+    def test_eleven_cores(self):
+        assert len(APPENDIX_A_CORES) == 11
+
+    def test_published_clock_periods(self):
+        # spot-check the Appendix-A table, verbatim
+        assert core_config("bzip").clock_period_ns == 0.49
+        assert core_config("crafty").clock_period_ns == 0.19
+        assert core_config("mcf").clock_period_ns == 0.45
+        assert core_config("vortex").clock_period_ns == 0.27
+
+    def test_published_window_sizes(self):
+        assert core_config("mcf").rob_size == 1024
+        assert core_config("crafty").rob_size == 64
+        assert core_config("bzip").iq_size == 64
+        assert core_config("gcc").lsq_size == 256
+
+    def test_published_widths(self):
+        widths = {n: c.width for n, c in APPENDIX_A_CORES.items()}
+        assert widths == {
+            "bzip": 5, "crafty": 8, "gap": 4, "gcc": 4, "gzip": 4,
+            "mcf": 3, "parser": 4, "perl": 5, "twolf": 5, "vortex": 7,
+            "vpr": 5,
+        }
+
+    def test_published_cache_sizes(self):
+        assert core_config("mcf").l2.size_bytes == 4 * 1024 * 1024
+        assert core_config("bzip").l2.size_bytes == 2 * 1024 * 1024
+        assert core_config("gcc").l1.size_bytes == 256 * 1024
+        assert core_config("vpr").l1.size_bytes == 8 * 1024
+
+    def test_published_latencies(self):
+        assert core_config("mcf").l2.latency == 27
+        assert core_config("crafty").mem_latency == 321
+        assert core_config("bzip").l1.latency == 2
+
+    def test_memory_time_near_57ns(self):
+        # the published palette implies a ~54-61 ns DRAM access
+        for cfg in APPENDIX_A_CORES.values():
+            ns = cfg.mem_latency * cfg.clock_period_ns
+            assert 50 <= ns <= 65
+
+    def test_unknown_core(self):
+        with pytest.raises(KeyError):
+            core_config("eon")
+
+
+class TestDerivedProperties:
+    def test_period_ps(self):
+        assert core_config("bzip").period_ps == 490
+        assert core_config("crafty").period_ps == 190
+
+    def test_peak_ips(self):
+        cfg = core_config("crafty")
+        assert cfg.peak_ips == pytest.approx(8 / 0.19)
+
+    def test_fetch_queue_default(self):
+        cfg = core_config("gcc")
+        assert cfg.fetch_queue_size == 2 * 4 * 7
+
+    def test_fetch_queue_override(self):
+        cfg = dataclasses.replace(core_config("gcc"), fetch_queue=99)
+        assert cfg.fetch_queue_size == 99
+
+    def test_mshr_derivation(self):
+        assert core_config("mcf").mshr_count == 32       # rob 1024
+        assert core_config("crafty").mshr_count == 4     # rob 64 -> floor 4
+        assert core_config("gcc").mshr_count == 8        # rob 256
+
+    def test_mshr_override(self):
+        cfg = dataclasses.replace(core_config("gcc"), mshrs=16)
+        assert cfg.mshr_count == 16
+
+    def test_fingerprint_hashable_distinct(self):
+        prints = {c.fingerprint() for c in APPENDIX_A_CORES.values()}
+        assert len(prints) == 11
+
+    def test_with_l2_swaps_only_l2(self):
+        a = core_config("bzip")
+        b = core_config("parser")
+        hybrid = a.with_l2(b)
+        assert hybrid.l2 == b.l2
+        assert hybrid.l1 == a.l1
+        assert hybrid.clock_period_ns == a.clock_period_ns
+        assert "bzip" in hybrid.name and "parser" in hybrid.name
+
+
+class TestValidation:
+    def _base(self, **kw):
+        params = dict(
+            name="t", clock_period_ns=0.3, width=4, rob_size=64,
+            iq_size=32, lsq_size=32, frontend_depth=5, sched_depth=1,
+            awaken_latency=0, mem_latency=100,
+            l1=CacheConfig(1, 64, 16, 2), l2=CacheConfig(2, 64, 64, 8),
+        )
+        params.update(kw)
+        return CoreConfig(**params)
+
+    def test_valid(self):
+        assert self._base().width == 4
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            self._base(clock_period_ns=0)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            self._base(width=0)
+
+    def test_bad_rob(self):
+        with pytest.raises(ValueError):
+            self._base(rob_size=1)
+
+    def test_bad_frontend(self):
+        with pytest.raises(ValueError):
+            self._base(frontend_depth=0)
+
+    def test_bad_mem_latency(self):
+        with pytest.raises(ValueError):
+            self._base(mem_latency=0)
+
+    def test_bad_awaken(self):
+        with pytest.raises(ValueError):
+            self._base(awaken_latency=-1)

@@ -1,0 +1,114 @@
+"""Tests of the optional fidelity knobs: store-to-load forwarding, perfect
+structures, and the shared cache level."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa.instructions import Instr, OpClass
+from repro.isa.trace import Trace
+from repro.uarch.cache import Cache, CacheConfig, CacheHierarchy
+from repro.uarch.config import core_config
+from repro.uarch.core import Core
+from repro.uarch.run import run_standalone
+
+
+def _forwarding_trace(n=1200):
+    """A serial store->load chain: each load reads the word just stored and
+    feeds the next store, so the load latency is on the critical path and
+    the producing store is still in flight when the load issues."""
+    instrs = []
+    prev_load = -1
+    for i in range(n):
+        addr = 0x100000 + (i % 64) * 8
+        if i % 2 == 0:
+            # store's data comes from the previous load: it stays in
+            # flight until that load completes
+            instrs.append(
+                Instr(OpClass.STORE, pc=4 * (i % 32), addr=addr,
+                      dep1=prev_load)
+            )
+        else:
+            instrs.append(
+                Instr(OpClass.LOAD, pc=4 * (i % 32), addr=addr - 8,
+                      dep1=prev_load)
+            )
+            prev_load = i
+    return Trace("fwd", instrs)
+
+
+class TestStoreForwarding:
+    def test_off_by_default(self):
+        assert core_config("gcc").store_forwarding is False
+
+    def test_forwarding_speeds_up_store_load_pairs(self):
+        trace = _forwarding_trace()
+        base = core_config("mcf")  # slow 5-cycle L1 makes forwarding visible
+        off = run_standalone(base, trace)
+        on = run_standalone(
+            dataclasses.replace(base, store_forwarding=True), trace
+        )
+        assert on.cycles < off.cycles
+
+    def test_forwarding_correct_completion(self):
+        trace = _forwarding_trace()
+        cfg = dataclasses.replace(core_config("gcc"), store_forwarding=True)
+        result = run_standalone(cfg, trace)
+        assert result.instructions == len(trace)
+
+    def test_store_words_drained_at_commit(self):
+        trace = _forwarding_trace(300)
+        cfg = dataclasses.replace(core_config("gcc"), store_forwarding=True)
+        core = Core(cfg, trace)
+        while not core.done:
+            core.step()
+        assert core._store_words == {}
+
+
+class TestSharedLevel:
+    def _l3(self):
+        return CacheConfig(assoc=8, block=64, sets=4096, latency=1)
+
+    def test_hierarchy_with_shared(self):
+        shared = Cache(self._l3())
+        h = CacheHierarchy(
+            CacheConfig(1, 64, 2, 2), CacheConfig(2, 64, 4, 10), 100,
+            shared_cache=shared, shared_latency=20,
+        )
+        # cold: l1 + l2 + l3-probe + memory
+        assert h.access(0x40000) == 2 + 10 + 20 + 100
+        # now resident in all levels; evict from tiny L1/L2 via conflicts
+        for i in range(1, 30):
+            h.access(0x40000 + i * 0x1000)
+        lat = h.access(0x40000)
+        assert lat in (2, 12, 132) or lat == 32  # L1/L2/L3 hit or re-miss
+
+    def test_shared_latency_required(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                CacheConfig(1, 64, 2, 2), CacheConfig(2, 64, 4, 10), 100,
+                shared_cache=Cache(self._l3()), shared_latency=0,
+            )
+
+    def test_contesting_with_shared_l3_completes(self, small_trace):
+        from repro.core.system import ContestingSystem
+
+        system = ContestingSystem(
+            [core_config("gcc"), core_config("vpr")], small_trace,
+            shared_l3=self._l3(),
+        )
+        result = system.run()
+        assert result.instructions == len(small_trace)
+        assert system.shared_l3 is not None
+
+    def test_merged_stores_reach_shared_level(self, store_trace):
+        from repro.core.system import ContestingSystem
+
+        system = ContestingSystem(
+            [core_config("gcc"), core_config("mcf")], store_trace,
+            shared_l3=self._l3(),
+        )
+        result = system.run()
+        assert result.merged_stores > 0
+        assert system._merged_written == result.merged_stores
+        assert system.shared_l3.accesses >= result.merged_stores

@@ -1,0 +1,148 @@
+"""Structural edge-case tests of the pipeline model."""
+
+import pytest
+
+from repro.isa.instructions import Instr, OpClass
+from repro.isa.trace import Trace
+from repro.uarch.cache import CacheConfig
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import Core
+
+
+def _config(**kw):
+    params = dict(
+        name="edge",
+        clock_period_ns=0.5,
+        width=4,
+        rob_size=32,
+        iq_size=8,
+        lsq_size=4,
+        frontend_depth=2,
+        sched_depth=0,
+        awaken_latency=0,
+        mem_latency=40,
+        l1=CacheConfig(2, 64, 16, 1),
+        l2=CacheConfig(4, 64, 64, 5),
+    )
+    params.update(kw)
+    return CoreConfig(**params)
+
+
+def _run(config, trace):
+    core = Core(config, trace)
+    while not core.done:
+        core.step()
+        assert core._iq_free >= 0
+        assert core._lsq_free >= 0
+        assert len(core._fetch_q) <= config.fetch_queue_size
+    return core
+
+
+class TestStructuralInvariants:
+    def test_resources_restored_at_end(self):
+        trace = Trace("t", [Instr(OpClass.IALU, 4 * i) for i in range(100)])
+        core = _run(_config(), trace)
+        assert core._iq_free == core.config.iq_size
+        assert core._lsq_free == core.config.lsq_size
+        assert core.rob_occupancy == 0
+
+    def test_lsq_capacity_respected_with_loads(self):
+        instrs = [
+            Instr(OpClass.LOAD, pc=4 * (i % 8), addr=0x400000 + 4096 * i)
+            for i in range(60)
+        ]
+        core = _run(_config(lsq_size=2), Trace("l", instrs))
+        assert core.commit_count == 60
+
+    def test_commit_width_bound(self):
+        trace = Trace("t", [Instr(OpClass.IALU, 4 * i) for i in range(400)])
+        config = _config(width=3)
+        core = Core(config, trace)
+        prev = 0
+        while not core.done:
+            core.step()
+            assert core.commit_count - prev <= config.width
+            prev = core.commit_count
+
+
+class TestLatencyClasses:
+    def _chain(self, op, n=300):
+        return Trace(
+            "c",
+            [Instr(op, pc=4 * (i % 8), dep1=i - 1 if i else -1) for i in range(n)],
+        )
+
+    def test_idiv_slower_than_imul_slower_than_ialu(self):
+        times = {}
+        for op in (OpClass.IALU, OpClass.IMUL, OpClass.IDIV):
+            core = _run(_config(iq_size=32), self._chain(op))
+            times[op] = core.cycle
+        assert times[OpClass.IALU] < times[OpClass.IMUL] < times[OpClass.IDIV]
+
+    def test_ialu_chain_one_cycle_per_link(self):
+        core = _run(_config(iq_size=32), self._chain(OpClass.IALU, 500))
+        assert core.cycle == pytest.approx(500, rel=0.1)
+
+
+class TestFetchBehaviour:
+    def _branchy(self, taken, n=400):
+        # a branch every other instruction: a taken direction caps the
+        # fetch group at 2 while the width is 4
+        instrs = []
+        for i in range(n):
+            if i % 2 == 1:
+                instrs.append(Instr(OpClass.BRANCH, pc=0x100, taken=taken))
+            else:
+                instrs.append(Instr(OpClass.IALU, pc=4 * (i % 8)))
+        return Trace("b", instrs)
+
+    def test_taken_branches_throttle_fetch(self):
+        # identical predictability (constant outcome), different direction:
+        # the taken stream breaks every fetch group
+        not_taken = _run(_config(), self._branchy(False))
+        taken = _run(_config(), self._branchy(True))
+        assert taken.cycle > not_taken.cycle
+
+    def test_single_mispredict_costs_at_least_frontend(self):
+        # branch flips once after the predictor saturates
+        instrs = [Instr(OpClass.IALU, 4 * (i % 8)) for i in range(64)]
+        instrs.append(Instr(OpClass.BRANCH, pc=0x200, taken=True))
+        instrs += [Instr(OpClass.IALU, 4 * (i % 8)) for i in range(64)]
+        flip = list(instrs)
+        flip[64] = Instr(OpClass.BRANCH, pc=0x200, taken=False)
+        base = _run(_config(frontend_depth=8), Trace("p", instrs))
+        # warm predictor says taken; the flipped trace mispredicts once
+        flipped = Core(_config(frontend_depth=8), Trace("f", flip))
+        # train the predictor toward taken before timing
+        for _ in range(8):
+            flipped.predictor.update(0x200, True)
+        while not flipped.done:
+            flipped.step()
+        assert flipped.stats.mispredicts >= 1
+        assert flipped.cycle >= base.cycle + 8 - 2  # ~frontend refill
+
+
+class TestNopAndMisc:
+    def test_nop_flows_through(self):
+        instrs = [Instr(OpClass.NOP, 4 * i) for i in range(50)]
+        core = _run(_config(), Trace("n", instrs))
+        assert core.commit_count == 50
+
+    def test_mixed_trace_with_everything(self):
+        instrs = []
+        for i in range(300):
+            mod = i % 11
+            if mod == 0:
+                instrs.append(Instr(OpClass.LOAD, 4 * (i % 16), addr=0x1000 + 8 * i))
+            elif mod == 3:
+                instrs.append(Instr(OpClass.STORE, 4 * (i % 16), addr=0x1000 + 8 * i))
+            elif mod == 5:
+                instrs.append(Instr(OpClass.BRANCH, 0x300, taken=i % 3 == 0))
+            elif mod == 7:
+                instrs.append(Instr(OpClass.IMUL, 4 * (i % 16), dep1=i - 2))
+            elif mod == 9:
+                instrs.append(Instr(OpClass.NOP, 4 * (i % 16)))
+            else:
+                instrs.append(Instr(OpClass.IALU, 4 * (i % 16), dep1=i - 1))
+        core = _run(_config(), Trace("mix", instrs))
+        assert core.commit_count == 300

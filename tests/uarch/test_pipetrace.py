@@ -1,0 +1,85 @@
+import pytest
+
+from repro.isa.instructions import Instr, OpClass
+from repro.isa.trace import Trace
+from repro.uarch.config import core_config
+from repro.uarch.core import Core
+from repro.uarch.pipetrace import TracingCore, pipetrace
+
+
+def _trace(n=200):
+    instrs = []
+    for i in range(n):
+        if i % 7 == 3:
+            instrs.append(Instr(OpClass.LOAD, pc=4 * (i % 16), addr=0x1000 + 8 * i))
+        elif i % 7 == 5:
+            instrs.append(Instr(OpClass.BRANCH, pc=4 * (i % 16), taken=i % 2 == 0))
+        else:
+            instrs.append(Instr(OpClass.IALU, pc=4 * (i % 16), dep1=i - 1 if i % 3 == 0 else -1))
+    return Trace("pt", instrs)
+
+
+class TestPipeTrace:
+    def test_all_instructions_traced(self):
+        trace = pipetrace(Core(core_config("gcc"), _trace(100)))
+        assert len(trace.timelines) == 100
+
+    def test_stage_ordering(self):
+        trace = pipetrace(Core(core_config("gcc"), _trace(150)))
+        for t in trace.timelines.values():
+            assert t.fetch >= 0
+            assert t.dispatch >= t.fetch
+            if t.issue >= 0:
+                assert t.issue >= t.dispatch
+            if t.complete >= 0 and t.issue >= 0:
+                assert t.complete >= t.issue
+            assert t.commit >= t.dispatch
+
+    def test_commit_in_order(self):
+        trace = pipetrace(Core(core_config("gcc"), _trace(150)))
+        commits = [trace.timelines[s].commit for s in sorted(trace.timelines)]
+        assert commits == sorted(commits)
+
+    def test_limit_caps_memory(self):
+        trace = pipetrace(Core(core_config("gcc"), _trace(200)), limit=50)
+        assert len(trace.timelines) == 50
+
+    def test_render_contains_glyphs(self):
+        trace = pipetrace(Core(core_config("gcc"), _trace(80)))
+        text = trace.render(start_seq=0, count=10)
+        assert "F" in text and "R" in text
+        assert "legend" in text
+
+    def test_render_empty_range(self):
+        trace = pipetrace(Core(core_config("gcc"), _trace(50)))
+        assert "no instructions" in trace.render(start_seq=10_000)
+
+    def test_injected_instructions_marked(self, small_trace):
+        """In a contest, the trailing core's timelines carry the * marker
+        and no issue stage."""
+        from repro.core.system import ContestingSystem
+
+        system = ContestingSystem(
+            [core_config("gcc"), core_config("gap")], small_trace
+        )
+        tracer = TracingCore(system.cores[1], limit=100_000)
+        # drive the co-simulation manually, tracing the follower
+        while True:
+            core = min(system._active, key=lambda c: c.time_ps)
+            if core is system.cores[1]:
+                tracer.step()
+            else:
+                core.step()
+            if core.done:
+                break
+        injected = [t for t in tracer.trace.timelines.values() if t.injected]
+        assert injected
+        assert all(t.issue == -1 for t in injected)
+
+    def test_does_not_change_timing(self):
+        plain = Core(core_config("gcc"), _trace(150))
+        while not plain.done:
+            plain.step()
+        traced_core = Core(core_config("gcc"), _trace(150))
+        pipetrace(traced_core)
+        assert traced_core.time_ps == plain.time_ps

@@ -1,0 +1,37 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sparkline import labelled_sparkline, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        out = sparkline([5, 5, 5])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_extremes(self):
+        out = sparkline([0, 10])
+        assert out[0] == "▁"
+        assert out[1] == "█"
+
+    def test_monotone_series(self):
+        out = sparkline(list(range(8)))
+        assert out == "▁▂▃▄▅▆▇█"
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=50))
+    def test_length_preserved(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestLabelled:
+    def test_contains_range(self):
+        out = labelled_sparkline("x", [1.0, 2.0])
+        assert "1.00..2.00" in out
+        assert out.startswith("x")
+
+    def test_empty(self):
+        assert "(empty)" in labelled_sparkline("x", [])

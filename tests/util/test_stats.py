@@ -1,0 +1,130 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    percent_change,
+    speedup,
+    weighted_harmonic_mean,
+)
+
+positive_lists = st.lists(
+    st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestArithmeticMean:
+    def test_single(self):
+        assert arithmetic_mean([3.0]) == 3.0
+
+    def test_known(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_accepts_generator(self):
+        assert arithmetic_mean(x for x in (2.0, 4.0)) == pytest.approx(3.0)
+
+
+class TestHarmonicMean:
+    def test_known(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_equal_values(self):
+        assert harmonic_mean([5.0, 5.0, 5.0]) == pytest.approx(5.0)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    @given(positive_lists)
+    def test_dominated_by_small_values(self, values):
+        assert harmonic_mean(values) <= max(values) + 1e-9
+        assert harmonic_mean(values) >= min(values) - 1e-9
+
+
+class TestMeanInequality:
+    @given(positive_lists)
+    def test_harmonic_le_geometric_le_arithmetic(self, values):
+        h = harmonic_mean(values)
+        g = geometric_mean(values)
+        a = arithmetic_mean(values)
+        assert h <= g * (1 + 1e-9)
+        assert g <= a * (1 + 1e-9)
+
+
+class TestWeightedHarmonicMean:
+    def test_uniform_weights_match_plain(self):
+        values = [1.0, 2.0, 4.0]
+        assert weighted_harmonic_mean(values, [1, 1, 1]) == pytest.approx(
+            harmonic_mean(values)
+        )
+
+    def test_zero_weight_removes_value(self):
+        assert weighted_harmonic_mean([1.0, 100.0], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_mean([1.0], [1.0, 2.0])
+
+    def test_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_mean([1.0, 2.0], [0.0, 0.0])
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_mean([1.0], [-1.0])
+
+    def test_nonpositive_value(self):
+        with pytest.raises(ValueError):
+            weighted_harmonic_mean([0.0], [1.0])
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geometric_mean([0.0, 1.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    @given(positive_lists)
+    def test_log_identity(self, values):
+        expected = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert geometric_mean(values) == pytest.approx(expected, rel=1e-9)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(3.0, 2.0) == pytest.approx(1.5)
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_percent_change(self):
+        assert percent_change(1.15, 1.0) == pytest.approx(15.0)
+
+    def test_percent_change_negative(self):
+        assert percent_change(0.9, 1.0) == pytest.approx(-10.0)

@@ -1,0 +1,43 @@
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].endswith("bb")
+        assert "2.500" in out
+        assert "30" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+    def test_column_widths_consistent(self):
+        out = format_table(["h"], [[123456], [1]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("s", [1, 2], [0.5, 1.25])
+        assert out == "s: 1=0.500, 2=1.250"
+
+    def test_unit(self):
+        out = format_series("s", [1], [2.0], unit="ns")
+        assert "2.000 ns" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1.0])

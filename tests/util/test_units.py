@@ -1,0 +1,31 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import NS, PS_PER_NS, ns_to_ps, ps_to_ns
+
+
+class TestUnits:
+    def test_constants(self):
+        assert PS_PER_NS == 1000
+        assert NS == 1000
+
+    def test_ns_to_ps_exact(self):
+        assert ns_to_ps(0.49) == 490
+        assert ns_to_ps(1.0) == 1000
+        assert ns_to_ps(0.01) == 10  # the paper's handshake unit
+
+    def test_rounding(self):
+        assert ns_to_ps(0.0006) == 1  # rounds to nearest
+        assert ns_to_ps(0.0004) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ns_to_ps(-1.0)
+
+    def test_ps_to_ns(self):
+        assert ps_to_ns(1500) == pytest.approx(1.5)
+
+    @given(st.floats(min_value=0.001, max_value=1e6))
+    def test_roundtrip_within_half_ps(self, ns):
+        assert abs(ps_to_ns(ns_to_ps(ns)) - ns) <= 0.0005 + 1e-12
