@@ -1,7 +1,19 @@
-"""Raw simulator throughput (cycles/second), for performance regressions."""
+"""Raw simulator throughput (cycles/second), for performance regressions,
+plus engine-level speedups: cold-vs-warm persistent cache and 1-vs-N-worker
+execution of one job batch."""
+
+import os
+import time
 
 from conftest import run_once
 
+from repro.engine import (
+    ParallelExecutor,
+    ResultStore,
+    SimEngine,
+    StandaloneJob,
+    TraceSpec,
+)
 from repro.isa.generator import generate_trace
 from repro.isa.workloads import workload_profile
 from repro.uarch.config import core_config
@@ -25,3 +37,54 @@ def test_contest_throughput(benchmark, capsys):
     with capsys.disabled():
         print(f"\ncontest: finished at {result.time_ps} ps, "
               f"{result.lead_changes} lead changes")
+
+
+def _engine_jobs():
+    """A representative batch: three benchmarks on three cores each."""
+    return [
+        StandaloneJob(core_config(core), TraceSpec(bench, 6_000, seed=11))
+        for bench in ("gcc", "vpr", "twolf")
+        for core in ("gcc", "mcf", "crafty")
+    ]
+
+
+def test_cold_vs_warm_cache(benchmark, tmp_path, capsys):
+    """Second engine over the same persistent store must replay, not
+    resimulate — the warm/cold ratio is the repeat-run speedup."""
+    jobs = _engine_jobs()
+    cold_engine = SimEngine(store=ResultStore(tmp_path))
+    started = time.perf_counter()
+    cold = cold_engine.run_many(jobs)
+    cold_s = time.perf_counter() - started
+
+    def warm_run():
+        return SimEngine(store=ResultStore(tmp_path)).run_many(jobs)
+
+    warm = run_once(benchmark, warm_run)
+    warm_s = benchmark.stats.stats.mean
+    assert warm == cold  # replayed results are bit-identical
+    with capsys.disabled():
+        print(f"\ncache: cold {cold_s:.2f}s, warm {warm_s:.4f}s "
+              f"({cold_s / max(warm_s, 1e-9):.0f}x), "
+              f"{len(jobs)} jobs")
+
+
+def test_parallel_scaling(benchmark, capsys):
+    """One worker vs. all cores over the same batch (equal results; the
+    ratio shows how simulation scales with core count on this host)."""
+    jobs = _engine_jobs()
+    workers = os.cpu_count() or 1
+    started = time.perf_counter()
+    one = ParallelExecutor(workers=1).run(jobs)
+    one_s = time.perf_counter() - started
+
+    def many_run():
+        return ParallelExecutor(workers=workers).run(jobs)
+
+    many = run_once(benchmark, many_run)
+    many_s = benchmark.stats.stats.mean
+    assert [r for r, _ in one] == [r for r, _ in many]
+    with capsys.disabled():
+        print(f"\nscaling: 1 worker {one_s:.2f}s, {workers} workers "
+              f"{many_s:.2f}s ({one_s / max(many_s, 1e-9):.1f}x), "
+              f"{len(jobs)} jobs")

@@ -29,6 +29,10 @@ Subpackages
 ``repro.core``
     The contesting mechanism itself (GRBs, result FIFOs, pop/fetch counter
     logic, injection, synchronizing store queue, saturated laggers).
+``repro.engine``
+    The unified simulation engine: declarative jobs, serial/parallel
+    executors, and the layered (memory + on-disk) result cache every
+    experiment, explorer and CLI tool resolves simulations through.
 ``repro.analysis``
     The Section-2 oracle-switching analysis (Figure 1).
 ``repro.cmp``
@@ -44,6 +48,16 @@ Subpackages
 from repro.analysis import oracle_switching_curve, region_log
 from repro.cmp import design_suite
 from repro.core import ContestingSystem, ContestResult, run_contest
+from repro.engine import (
+    ContestJob,
+    ParallelExecutor,
+    RegionLogJob,
+    ResultStore,
+    SerialExecutor,
+    SimEngine,
+    StandaloneJob,
+    TraceSpec,
+)
 from repro.explore import simulated_annealing
 from repro.isa import (
     BENCHMARKS,
@@ -65,11 +79,19 @@ __version__ = "1.0.0"
 __all__ = [
     "APPENDIX_A_CORES",
     "BENCHMARKS",
+    "ContestJob",
     "ContestResult",
     "ContestingSystem",
     "Core",
     "CoreConfig",
+    "ParallelExecutor",
+    "RegionLogJob",
+    "ResultStore",
+    "SerialExecutor",
+    "SimEngine",
+    "StandaloneJob",
     "Trace",
+    "TraceSpec",
     "characterize",
     "core_config",
     "design_suite",

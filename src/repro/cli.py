@@ -6,6 +6,11 @@
     repro-sim gcc --core gcc --core vpr           # 2-way contesting
     repro-sim twolf --core vortex --core vpr --latency-ns 5 --length 40000
 
+Simulations resolve through the engine's persistent result store (under
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so repeating an invocation —
+or re-running a benchmark/seed/length combination any experiment already
+simulated — replays from cache; pass ``--no-cache`` to force a fresh run.
+
 ``repro-trace`` — generate, save, load and characterise traces:
 
     repro-trace generate gcc --length 60000 --out gcc.rtrc
@@ -16,13 +21,13 @@
 import argparse
 from typing import List, Optional
 
-from repro.core.system import ContestingSystem
+from repro.engine import ContestJob, ResultStore, SimEngine, StandaloneJob
+from repro.engine import TraceSpec
 from repro.isa.generator import generate_trace
 from repro.isa.serialize import load_trace, save_trace
 from repro.isa.stats import characterize
 from repro.isa.workloads import BENCHMARKS, workload_profile
 from repro.uarch.config import APPENDIX_A_CORES, core_config
-from repro.uarch.run import run_standalone
 from repro.util.tables import format_table
 
 
@@ -37,6 +42,20 @@ def _trace_from_args(args) -> "Trace":
     return generate_trace(
         workload_profile(args.workload), args.length, seed=args.seed
     )
+
+
+def _trace_ref_from_args(args):
+    """A trace reference for engine jobs: a tiny :class:`TraceSpec` recipe
+    for named benchmarks (cache-compatible with the experiment runner's
+    keys), or the loaded trace by value for ``.rtrc`` files."""
+    if args.workload.endswith(".rtrc"):
+        return load_trace(args.workload)
+    if args.workload not in BENCHMARKS:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; expected one of "
+            f"{', '.join(BENCHMARKS)} or a .rtrc file"
+        )
+    return TraceSpec(args.workload, args.length, args.seed)
 
 
 def sim_main(argv: Optional[List[str]] = None) -> int:
@@ -59,30 +78,42 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--lagger-policy", choices=("disable", "resync"), default="disable"
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result store",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result store location (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
     args = parser.parse_args(argv)
 
     cores = args.core or [
         args.workload if args.workload in APPENDIX_A_CORES else "gcc"
     ]
     configs = [core_config(name) for name in cores]
-    trace = _trace_from_args(args)
+    trace_ref = _trace_ref_from_args(args)
+    engine = SimEngine(
+        store=None if args.no_cache else ResultStore(args.cache_dir)
+    )
 
     if len(configs) == 1:
-        result = run_standalone(configs[0], trace)
+        result = engine.run(StandaloneJob(configs[0], trace_ref))
         print(
-            f"{trace.name} on {configs[0].name}: {result.ipt:.3f} IPT "
+            f"{result.trace_name} on {configs[0].name}: {result.ipt:.3f} IPT "
             f"({result.ipc:.2f} IPC, {result.cycles} cycles, "
             f"mispredict {result.stats.mispredict_rate:.1%}, "
             f"L1 miss {result.stats.l1_misses}/{result.stats.l1_accesses})"
         )
     else:
-        system = ContestingSystem(
-            configs, trace, grb_latency_ns=args.latency_ns,
+        result = engine.run(ContestJob(
+            configs=tuple(configs), trace=trace_ref,
+            grb_latency_ns=args.latency_ns,
             lagger_policy=args.lagger_policy,
-        )
-        result = system.run()
+        ))
         print(
-            f"{trace.name} contested on {'+'.join(cores)}: "
+            f"{result.trace_name} contested on {'+'.join(cores)}: "
             f"{result.ipt:.3f} IPT (winner {result.winner}, "
             f"{result.lead_changes} lead changes, "
             f"saturated: {', '.join(result.saturated) or 'none'})"

@@ -87,6 +87,9 @@ class ContestResult:
     store_stalls: int
     merged_stores: int
     per_core: Dict[str, RunStats] = field(default_factory=dict)
+    #: saturated-lagger re-forks performed (non-zero only under the
+    #: ``resync`` lagger policy)
+    resyncs: int = 0
 
     @property
     def ipt(self) -> float:
@@ -401,9 +404,7 @@ class ContestingSystem:
                     "likely deadlock"
                 )
         for c in self.cores:
-            c.stats.l1_accesses = c.hierarchy.l1.accesses
-            c.stats.l1_misses = c.hierarchy.l1.misses
-            c.stats.l2_misses = c.hierarchy.l2.misses
+            c.collect_cache_stats()
         return ContestResult(
             config_names=[c.config.name for c in self.cores],
             trace_name=self.trace.name,
@@ -417,6 +418,7 @@ class ContestingSystem:
             per_core={
                 f"{c.core_id}:{c.config.name}": c.stats for c in self.cores
             },
+            resyncs=self.resyncs,
         )
 
 

@@ -1,0 +1,134 @@
+"""The simulation engine: layered caching over pluggable executors.
+
+``SimEngine.run_many`` resolves a batch of jobs through three layers:
+
+1. **in-memory cache** — a per-engine dict keyed by
+   :meth:`~repro.engine.jobs.StandaloneJob.cache_key`; hits return the
+   *same object* (call sites may rely on identity),
+2. **persistent store** — the optional on-disk
+   :class:`~repro.engine.store.ResultStore`, surviving across processes,
+3. **executor** — remaining misses are deduplicated by key and submitted
+   to the executor in one batch, so a ``ParallelExecutor`` sees the whole
+   frontier at once.
+
+Counters (memory/store hits, misses, simulated seconds) accumulate on
+``engine.stats`` and render via :meth:`SimEngine.stats_line` — experiment
+runners print this to stderr so rendered experiment output stays
+byte-identical with and without caching.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.executors import SerialExecutor
+from repro.engine.jobs import SimJob
+from repro.engine.store import ResultStore
+
+
+@dataclass
+class EngineStats:
+    """Cache and execution counters for one engine."""
+
+    memory_hits: int = 0
+    store_hits: int = 0
+    misses: int = 0
+    #: wall seconds spent inside simulations (sum over jobs; under a
+    #: parallel executor this exceeds elapsed time)
+    sim_seconds: float = 0.0
+    #: per-kind executed-job counts, e.g. {"standalone": 12}
+    executed: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def jobs(self) -> int:
+        """Total jobs resolved through the engine."""
+        return self.memory_hits + self.store_hits + self.misses
+
+
+class SimEngine:
+    """Resolve simulation jobs through caches and an executor.
+
+    Parameters
+    ----------
+    executor:
+        A :class:`~repro.engine.executors.SerialExecutor` (default) or
+        :class:`~repro.engine.executors.ParallelExecutor`.
+    store:
+        Optional persistent :class:`~repro.engine.store.ResultStore`;
+        ``None`` keeps caching in-memory only.
+    """
+
+    def __init__(self, executor=None, store: Optional[ResultStore] = None):
+        self.executor = executor or SerialExecutor()
+        self.store = store
+        self.stats = EngineStats()
+        self._memory: Dict[str, object] = {}
+
+    def run(self, job: SimJob) -> object:
+        """Resolve one job (see :meth:`run_many`)."""
+        return self.run_many([job])[0]
+
+    def run_many(self, jobs: Sequence[SimJob]) -> List[object]:
+        """Resolve a batch of jobs; results come back in submission order.
+
+        Misses are deduplicated by cache key before execution, so a batch
+        that mentions the same simulation twice runs it once.
+        """
+        jobs = list(jobs)
+        results: List[object] = [None] * len(jobs)
+        pending: Dict[str, List[int]] = {}
+        pending_jobs: Dict[str, SimJob] = {}
+        for i, job in enumerate(jobs):
+            key = job.cache_key()
+            if key in self._memory:
+                self.stats.memory_hits += 1
+                results[i] = self._memory[key]
+                continue
+            if key in pending:  # duplicate within this batch
+                self.stats.memory_hits += 1
+                pending[key].append(i)
+                continue
+            if self.store is not None:
+                cached = self.store.get(key, job.kind)
+                if cached is not None:
+                    self.stats.store_hits += 1
+                    self._memory[key] = cached
+                    results[i] = cached
+                    continue
+            self.stats.misses += 1
+            pending[key] = [i]
+            pending_jobs[key] = job
+
+        if pending:
+            order = list(pending)
+            timed = self.executor.run([pending_jobs[k] for k in order])
+            for key, (result, seconds) in zip(order, timed):
+                self.stats.sim_seconds += seconds
+                kind = pending_jobs[key].kind
+                self.stats.executed[kind] = (
+                    self.stats.executed.get(kind, 0) + 1
+                )
+                self._memory[key] = result
+                if self.store is not None:
+                    self.store.put(key, kind, result)
+                for i in pending[key]:
+                    results[i] = result
+        return results
+
+    def stats_line(self) -> str:
+        """One-line human-readable counter summary."""
+        s = self.stats
+        parts = [
+            f"{s.jobs} jobs",
+            f"{s.memory_hits} memory hits",
+            f"{s.store_hits} store hits",
+            f"{s.misses} misses",
+            f"{s.sim_seconds:.1f}s simulated",
+            f"{self.executor.workers} worker(s)",
+        ]
+        if self.store is not None:
+            c = self.store.counters()
+            parts.append(
+                f"store: {c['entries']} entries, "
+                f"{c['evictions']} evictions ({self.store.path})"
+            )
+        return "[engine] " + ", ".join(parts)

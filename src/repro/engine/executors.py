@@ -1,0 +1,69 @@
+"""Job executors: serial in-process, or fanned out over worker processes.
+
+Both executors implement one method — ``run(jobs) -> [(result, seconds)]``
+with results in submission order — so the engine is indifferent to where
+jobs execute.  Simulations are deterministic pure functions of their job,
+so the two executors return bit-identical results (asserted in
+``tests/engine/test_executors.py``); parallelism changes wall-clock time
+only.
+
+The parallel executor ships jobs, not traces: jobs built on a
+:class:`~repro.engine.jobs.TraceSpec` pickle to a few hundred bytes and
+the worker regenerates (and memoises) the trace locally.  Jobs are batched
+into chunks so per-task IPC overhead amortises across many short
+simulations.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Sequence, Tuple
+
+from repro.engine.jobs import SimJob, execute_job, execute_jobs
+
+
+class SerialExecutor:
+    """Run every job in the calling process, in order."""
+
+    #: degree of parallelism (for reporting)
+    workers = 1
+
+    def run(self, jobs: Sequence[SimJob]) -> List[Tuple[object, float]]:
+        """Execute the jobs one after another."""
+        return [execute_job(job) for job in jobs]
+
+
+class ParallelExecutor:
+    """Fan jobs out over a ``ProcessPoolExecutor``.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; 0 derives ``os.cpu_count()``.
+    chunk_size:
+        Jobs per worker task; 0 derives ``ceil(len(jobs) / (4 * workers))``
+        so each worker sees ~4 chunks and stragglers still load-balance.
+    """
+
+    def __init__(self, workers: int = 0, chunk_size: int = 0):
+        if workers < 0 or chunk_size < 0:
+            raise ValueError("workers and chunk_size must be >= 0")
+        self.workers = workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+
+    def run(self, jobs: Sequence[SimJob]) -> List[Tuple[object, float]]:
+        """Execute the jobs across worker processes; order is preserved."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        workers = min(self.workers, len(jobs))
+        if workers <= 1:
+            return [execute_job(job) for job in jobs]
+        chunk = self.chunk_size or -(-len(jobs) // (4 * workers))
+        chunks = [
+            jobs[i : i + chunk] for i in range(0, len(jobs), chunk)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            timed: List[Tuple[object, float]] = []
+            for batch in pool.map(execute_jobs, chunks):
+                timed.extend(batch)
+        return timed

@@ -1,0 +1,194 @@
+"""Persistent on-disk result store (JSON-lines, corruption-tolerant).
+
+One record per line: ``{"key": <hex>, "kind": <job kind>, "value": {...}}``.
+The format is append-only — a crash mid-write corrupts at most the final
+line, and loading skips anything unparsable — so the store degrades to a
+recompute, never to a crash.  Layout on disk::
+
+    <cache_dir>/results-v<SCHEMA_VERSION>.jsonl
+
+The schema version is in the filename as well as in every key (see
+:mod:`repro.engine.jobs`), so bumping it simply starts a fresh file and
+leaves the stale one inert.
+
+Capacity is bounded by ``max_entries``: inserting beyond it evicts the
+oldest entries (insertion order) and compacts the file.  Hit/miss/eviction
+counters accumulate on the instance and are surfaced by the engine.
+"""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.analysis.regions import RegionLog
+from repro.core.system import ContestResult
+from repro.engine.jobs import SCHEMA_VERSION
+from repro.uarch.core import RunStats
+from repro.uarch.run import StandaloneResult
+
+#: Default cache directory (override with $REPRO_CACHE_DIR or --cache-dir).
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    return Path(
+        os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    ).expanduser()
+
+
+def encode_result(result: object) -> dict:
+    """Serialise a simulation result dataclass to a JSON-ready dict."""
+    return dataclasses.asdict(result)
+
+
+def decode_result(kind: str, payload: dict) -> object:
+    """Reconstruct a result object from its JSON dict (inverse of
+    :func:`encode_result`); raises on unknown kinds or bad shapes."""
+    if kind == "standalone":
+        data = dict(payload)
+        data["stats"] = RunStats(**data["stats"])
+        return StandaloneResult(**data)
+    if kind == "region_log":
+        return RegionLog(**payload)
+    if kind == "contest":
+        data = dict(payload)
+        data["per_core"] = {
+            name: RunStats(**stats)
+            for name, stats in data["per_core"].items()
+        }
+        return ContestResult(**data)
+    raise ValueError(f"unknown result kind {kind!r}")
+
+
+class ResultStore:
+    """Append-only persistent cache of simulation results.
+
+    Parameters
+    ----------
+    path:
+        The cache *directory* (the JSON-lines file name is derived from the
+        schema version) or a path ending in ``.jsonl`` to use verbatim.
+    max_entries:
+        Capacity bound; inserting beyond it evicts oldest-first and
+        compacts the file.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        max_entries: int = 100_000,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        base = Path(path).expanduser() if path else default_cache_dir()
+        if base.suffix == ".jsonl":
+            self.path = base
+        else:
+            self.path = base / f"results-v{SCHEMA_VERSION}.jsonl"
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: lines skipped at load because they were corrupt or truncated
+        self.corrupt_lines = 0
+        self._entries: Dict[str, dict] = {}
+        self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                kind = record["kind"]
+                value = record["value"]
+                if not isinstance(key, str) or not isinstance(value, dict):
+                    raise TypeError("malformed record")
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                self.corrupt_lines += 1
+                continue
+            # later lines win, as appends supersede older records
+            self._entries[key] = {"kind": kind, "value": value}
+        self._evict_to_capacity(rewrite=False)
+
+    def get(self, key: str, kind: str) -> Optional[object]:
+        """Look up and decode a result; ``None`` (a miss) on absence, kind
+        mismatch, or an undecodable payload."""
+        record = self._entries.get(key)
+        if record is None or record["kind"] != kind:
+            self.misses += 1
+            return None
+        try:
+            result = decode_result(kind, record["value"])
+        except (TypeError, KeyError, ValueError):
+            # stale shape from an older code version: treat as a miss
+            del self._entries[key]
+            self.corrupt_lines += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, kind: str, result: object) -> None:
+        """Insert (or supersede) a result and append it to the file."""
+        record = {"kind": kind, "value": encode_result(result)}
+        self._entries[key] = record
+        if len(self._entries) > self.max_entries:
+            self._evict_to_capacity(rewrite=True)
+            return
+        line = json.dumps(
+            {"key": key, "kind": kind, "value": record["value"]},
+            separators=(",", ":"),
+        )
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as fh:
+                fh.write(line + "\n")
+        except OSError:
+            pass  # read-only filesystem: stay a process-lifetime cache
+
+    def _evict_to_capacity(self, rewrite: bool) -> None:
+        evicted = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            evicted += 1
+        self.evictions += evicted
+        if rewrite and evicted:
+            self._rewrite()
+
+    def _rewrite(self) -> None:
+        lines = [
+            json.dumps(
+                {"key": k, "kind": r["kind"], "value": r["value"]},
+                separators=(",", ":"),
+            )
+            for k, r in self._entries.items()
+        ]
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".jsonl.tmp")
+            tmp.write_text("\n".join(lines) + ("\n" if lines else ""))
+            tmp.replace(self.path)
+        except OSError:
+            pass
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/eviction/corruption counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt_lines": self.corrupt_lines,
+            "entries": len(self._entries),
+        }

@@ -13,7 +13,6 @@ occurs.
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.core.system import ContestingSystem
 from repro.experiments.common import ExperimentContext
 from repro.uarch.config import APPENDIX_A_CORES, core_config
 from repro.util.stats import arithmetic_mean
@@ -59,15 +58,13 @@ def run(
         if bench == partner:
             continue
         configs = [core_config(bench), core_config(partner)]
-        trace = ctx.trace(bench)
-        disable = ContestingSystem(
-            configs, trace, max_lag=max_lag, sat_grace_ns=sat_grace_ns,
+        disable = ctx.contest(
+            bench, configs, max_lag=max_lag, sat_grace_ns=sat_grace_ns,
             lagger_policy="disable",
-        ).run()
-        resync_system = ContestingSystem(
-            configs, trace, max_lag=max_lag, sat_grace_ns=sat_grace_ns,
+        )
+        resync = ctx.contest(
+            bench, configs, max_lag=max_lag, sat_grace_ns=sat_grace_ns,
             lagger_policy="resync",
         )
-        resync = resync_system.run()
-        rows[bench] = (disable.ipt, resync.ipt, resync_system.resyncs)
+        rows[bench] = (disable.ipt, resync.ipt, resync.resyncs)
     return ExtResyncResult(partner=partner, max_lag=max_lag, rows=rows)

@@ -5,18 +5,26 @@ Usage::
     python -m repro.experiments                 # all experiments, default scale
     python -m repro.experiments --scale small   # faster, noisier
     python -m repro.experiments fig06 table1    # a subset
+    python -m repro.experiments --jobs 4        # parallel simulation
+    python -m repro.experiments --no-cache      # ignore the persistent store
     python -m repro.experiments --list
 
 Experiments share one :class:`ExperimentContext`, so e.g. the region logs
 computed for fig01 are reused by fig06's pair pruning and the matrix behind
-table1 feeds fig09-13.
+table1 feeds fig09-13.  All simulation goes through
+:class:`repro.engine.SimEngine`: results persist in an on-disk store under
+``~/.cache/repro`` (override with ``--cache-dir`` or ``$REPRO_CACHE_DIR``),
+so a repeat invocation replays from cache, and ``--jobs N`` fans cold
+simulations out over N worker processes.  Cache counters go to stderr so
+rendered output stays byte-identical across cache states and job counts.
 """
 
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from repro.engine import ParallelExecutor, ResultStore, SimEngine
 from repro.experiments import fig01, fig06, fig07, fig08, fig09, fig10
 from repro.experiments import fig11, fig12, fig13, appendix_a, table1
 from repro.experiments import ext_energy, ext_nway, ext_queueing, ext_resync
@@ -62,10 +70,33 @@ _MODULES = {
 }
 
 
-def run_all(scale: str = "default", names=None, stream=None):
-    """Run the selected experiments, print each, return the result dict."""
+def build_engine(
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
+) -> SimEngine:
+    """Assemble the engine the runner uses.
+
+    ``jobs > 1`` selects the process-pool executor; ``cache_dir`` (or the
+    default ``~/.cache/repro`` when it is the string ``"default"``) attaches
+    the persistent result store unless ``no_cache`` is set.
+    """
+    executor = ParallelExecutor(workers=jobs) if jobs > 1 else None
+    store = None
+    if not no_cache and cache_dir is not None:
+        store = ResultStore(None if cache_dir == "default" else cache_dir)
+    return SimEngine(executor=executor, store=store)
+
+
+def run_all(scale: str = "default", names=None, stream=None, engine=None):
+    """Run the selected experiments, print each, return the result dict.
+
+    ``engine`` defaults to a serial, memory-cache-only
+    :class:`~repro.engine.SimEngine`; pass :func:`build_engine`'s product
+    for parallel execution and/or persistent caching.
+    """
     stream = stream if stream is not None else sys.stdout
-    ctx = ExperimentContext(scale=scale)
+    ctx = ExperimentContext(scale=scale, engine=engine)
     selected = list(names) if names else list(EXPERIMENTS)
     results = {}
     for name in selected:
@@ -73,11 +104,22 @@ def run_all(scale: str = "default", names=None, stream=None):
             raise ValueError(
                 f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
             )
+    if ctx.engine.executor.workers > 1:
+        # fan the shared artefact frontier out before the serial figure loop
+        ctx.prefetch()
+    for name in selected:
         started = time.time()
         result = EXPERIMENTS[name](ctx)
         results[name] = result
-        print(f"\n=== {name} ({time.time() - started:.1f}s) ===", file=stream)
+        # the rendered stream carries no timings, so it is byte-identical
+        # across cache states and worker counts; timing goes to stderr
+        print(f"\n=== {name} ===", file=stream)
         print(_render(_MODULES[name], result), file=stream)
+        print(
+            f"[runner] {name}: {time.time() - started:.1f}s",
+            file=sys.stderr,
+        )
+    print(ctx.engine.stats_line(), file=sys.stderr)
     return results
 
 
@@ -101,11 +143,29 @@ def main(argv=None) -> int:
         "--output", metavar="FILE", default=None,
         help="also write the rendered results to FILE",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate cold jobs over N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default="default", metavar="DIR",
+        help="persistent result store location "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result store",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    engine = build_engine(
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
     if args.output:
         class _Tee:
             def __init__(self, *streams):
@@ -124,9 +184,10 @@ def main(argv=None) -> int:
                 scale=args.scale,
                 names=args.names or None,
                 stream=_Tee(sys.stdout, fh),
+                engine=engine,
             )
     else:
-        run_all(scale=args.scale, names=args.names or None)
+        run_all(scale=args.scale, names=args.names or None, engine=engine)
     return 0
 
 

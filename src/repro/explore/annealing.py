@@ -4,7 +4,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.explore.objective import Objective, cached
+from repro.explore.objective import EngineObjective, Objective, cached
+from repro.explore.objective import evaluate_candidates
 from repro.explore.space import DesignSpace, derive_config
 from repro.util.rng import substream
 
@@ -33,6 +34,8 @@ def simulated_annealing(
     space: Optional[DesignSpace] = None,
     name: str = "candidate",
     memoise: bool = True,
+    engine=None,
+    neighbours_per_step: int = 1,
 ) -> AnnealingResult:
     """Maximise ``objective`` over the design space.
 
@@ -40,17 +43,39 @@ def simulated_annealing(
     moves.  Acceptance uses relative score change, so the temperature scale
     is unitless: 0.25 initial temperature accepts ~25% relative regressions
     early on.
+
+    When ``objective`` is an :class:`~repro.explore.objective.EngineObjective`
+    and an ``engine`` is given, each step proposes ``neighbours_per_step``
+    candidate moves and scores them as *one engine batch* — under a
+    parallel executor the candidates simulate concurrently — then applies
+    the Metropolis test to the candidates in proposal order and accepts the
+    first that passes (speculative parallel annealing).  With
+    ``neighbours_per_step=1`` the chain is identical to the serial one.
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
     if initial_temp <= 0 or final_temp <= 0 or final_temp > initial_temp:
         raise ValueError("require 0 < final_temp <= initial_temp")
+    if neighbours_per_step < 1:
+        raise ValueError("neighbours_per_step must be >= 1")
     rng = substream(seed, "annealing")
     space = space or DesignSpace()
-    score = cached(objective) if memoise else objective
+    batched = engine is not None and isinstance(objective, EngineObjective)
+    if batched:
+        # the engine's in-memory cache already memoises on the job identity
+        def score_batch(genomes):
+            return evaluate_candidates(
+                engine, objective,
+                [derive_config(name, g) for g in genomes],
+            )
+    else:
+        serial = cached(objective) if memoise else objective
+
+        def score_batch(genomes):
+            return [serial(derive_config(name, g)) for g in genomes]
 
     current = space.random_genome(rng)
-    current_score = score(derive_config(name, current))
+    current_score = score_batch([current])[0]
     best, best_score = dict(current), current_score
     evaluations = 1
     trajectory = [(0, current_score)]
@@ -58,18 +83,23 @@ def simulated_annealing(
     temp = initial_temp
 
     for step in range(1, steps + 1):
-        candidate = space.neighbour(current, rng)
-        candidate_score = score(derive_config(name, candidate))
-        evaluations += 1
-        if current_score > 0:
-            delta = (candidate_score - current_score) / current_score
-        else:
-            delta = 1.0 if candidate_score > current_score else -1.0
-        if delta >= 0 or rng.random() < math.exp(delta / temp):
-            current, current_score = candidate, candidate_score
-            trajectory.append((step, current_score))
-            if current_score > best_score:
-                best, best_score = dict(current), current_score
+        candidates = [
+            space.neighbour(current, rng)
+            for _ in range(neighbours_per_step)
+        ]
+        scores = score_batch(candidates)
+        evaluations += len(candidates)
+        for candidate, candidate_score in zip(candidates, scores):
+            if current_score > 0:
+                delta = (candidate_score - current_score) / current_score
+            else:
+                delta = 1.0 if candidate_score > current_score else -1.0
+            if delta >= 0 or rng.random() < math.exp(delta / temp):
+                current, current_score = candidate, candidate_score
+                trajectory.append((step, current_score))
+                if current_score > best_score:
+                    best, best_score = dict(current), current_score
+                break
         temp *= cooling
 
     return AnnealingResult(

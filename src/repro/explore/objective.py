@@ -1,43 +1,86 @@
-"""Objectives for design-space exploration."""
+"""Objectives for design-space exploration.
 
-from typing import Callable, Dict, Sequence
+Objectives come in two shapes.  The classic shape is a plain callable
+``CoreConfig -> float``.  The engine-aware shape —
+:class:`EngineObjective` — additionally *declares* the simulations a score
+needs as :data:`~repro.engine.jobs.SimJob` values, so an annealer (or any
+search) can batch the jobs of many candidate configs through a
+:class:`~repro.engine.SimEngine` and evaluate them in parallel, with the
+engine's caches deduplicating revisited designs.  Every engine objective is
+still callable (it executes its own jobs serially), so the two shapes are
+interchangeable at call sites.
+"""
 
-from repro.core.system import ContestingSystem
-from repro.isa.trace import Trace
+from typing import Callable, Dict, List, Sequence
+
+from repro.engine.jobs import (
+    ContestJob,
+    SimJob,
+    StandaloneJob,
+    TraceLike,
+    trace_fingerprint,
+)
 from repro.uarch.config import CoreConfig
-from repro.uarch.run import run_standalone
 from repro.util.stats import harmonic_mean
 
 Objective = Callable[[CoreConfig], float]
 
 
-def workload_objective(trace: Trace) -> Objective:
+class EngineObjective:
+    """An objective whose score is a pure function of simulation jobs.
+
+    Subclasses declare :meth:`jobs` and :meth:`combine`; calling the
+    objective directly runs the jobs serially in-process.
+    """
+
+    def jobs(self, config: CoreConfig) -> List[SimJob]:
+        """The simulations needed to score ``config``."""
+        raise NotImplementedError
+
+    def combine(self, results: Sequence[object]) -> float:
+        """Fold the job results (in :meth:`jobs` order) into the score."""
+        raise NotImplementedError
+
+    def __call__(self, config: CoreConfig) -> float:
+        """Serial fallback: execute this config's jobs here and now."""
+        return self.combine([job.run() for job in self.jobs(config)])
+
+
+class WorkloadObjective(EngineObjective):
     """IPT of one workload on the candidate core (benchmark customisation,
     the paper's Appendix-A setting)."""
 
-    def score(config: CoreConfig) -> float:
-        return run_standalone(config, trace).ipt
+    def __init__(self, trace: TraceLike):
+        self.trace = trace
 
-    return score
+    def jobs(self, config: CoreConfig) -> List[SimJob]:
+        """One standalone run."""
+        return [StandaloneJob(config, self.trace)]
+
+    def combine(self, results: Sequence[object]) -> float:
+        """The run's IPT."""
+        return results[0].ipt
 
 
-def suite_objective(traces: Sequence[Trace]) -> Objective:
+class SuiteObjective(EngineObjective):
     """Harmonic-mean IPT over a suite (the paper's whole-suite exploration,
     Section 6.2, which found no core meaningfully better than gcc's)."""
-    if not traces:
-        raise ValueError("suite_objective needs at least one trace")
 
-    def score(config: CoreConfig) -> float:
-        return harmonic_mean(
-            run_standalone(config, t).ipt for t in traces
-        )
+    def __init__(self, traces: Sequence[TraceLike]):
+        if not traces:
+            raise ValueError("SuiteObjective needs at least one trace")
+        self.traces = tuple(traces)
 
-    return score
+    def jobs(self, config: CoreConfig) -> List[SimJob]:
+        """One standalone run per suite member."""
+        return [StandaloneJob(config, t) for t in self.traces]
+
+    def combine(self, results: Sequence[object]) -> float:
+        """Harmonic mean of the per-workload IPTs."""
+        return harmonic_mean(r.ipt for r in results)
 
 
-def contest_pair_objective(
-    trace: Trace, partner: CoreConfig, grb_latency_ns: float = 1.0
-) -> Objective:
+class ContestPairObjective(EngineObjective):
     """Contested IPT of (candidate, partner) on a workload.
 
     Section 7.2: the true potential of contesting requires customising cores
@@ -46,17 +89,73 @@ def contest_pair_objective(
     pair-space exploration composes this with an outer loop over partners.)
     """
 
-    def score(config: CoreConfig) -> float:
-        system = ContestingSystem(
-            [config, partner], trace, grb_latency_ns=grb_latency_ns
-        )
-        return system.run().ipt
+    def __init__(
+        self, trace: TraceLike, partner: CoreConfig,
+        grb_latency_ns: float = 1.0,
+    ):
+        self.trace = trace
+        self.partner = partner
+        self.grb_latency_ns = grb_latency_ns
 
-    return score
+    def jobs(self, config: CoreConfig) -> List[SimJob]:
+        """One 2-way contest."""
+        return [ContestJob(
+            configs=(config, self.partner), trace=self.trace,
+            grb_latency_ns=self.grb_latency_ns,
+        )]
+
+    def combine(self, results: Sequence[object]) -> float:
+        """The contest's IPT."""
+        return results[0].ipt
+
+
+def evaluate_candidates(
+    engine, objective: EngineObjective, configs: Sequence[CoreConfig]
+) -> List[float]:
+    """Score many candidate configs as one engine batch.
+
+    All configs' jobs are submitted together, so a parallel executor
+    evaluates the whole candidate set concurrently; the engine's caches
+    make revisited designs free.
+    """
+    per_config = [objective.jobs(c) for c in configs]
+    flat: List[SimJob] = [j for jobs in per_config for j in jobs]
+    results = engine.run_many(flat)
+    scores: List[float] = []
+    cursor = 0
+    for jobs in per_config:
+        scores.append(objective.combine(results[cursor:cursor + len(jobs)]))
+        cursor += len(jobs)
+    return scores
+
+
+def workload_objective(trace: TraceLike) -> Objective:
+    """IPT of one workload on the candidate core (see
+    :class:`WorkloadObjective`)."""
+    return WorkloadObjective(trace)
+
+
+def suite_objective(traces: Sequence[TraceLike]) -> Objective:
+    """Harmonic-mean IPT over a suite (see :class:`SuiteObjective`)."""
+    if not traces:
+        raise ValueError("suite_objective needs at least one trace")
+    return SuiteObjective(traces)
+
+
+def contest_pair_objective(
+    trace: TraceLike, partner: CoreConfig, grb_latency_ns: float = 1.0
+) -> Objective:
+    """Contested IPT of (candidate, partner) on a workload (see
+    :class:`ContestPairObjective`)."""
+    return ContestPairObjective(trace, partner, grb_latency_ns)
 
 
 def cached(objective: Objective) -> Objective:
-    """Memoise an objective on the config fingerprint (annealers revisit)."""
+    """Memoise an objective on the config fingerprint (annealers revisit).
+
+    A trace identity is folded in when the objective exposes one, so two
+    caches built from different traces never alias.
+    """
     memo: Dict[tuple, float] = {}
 
     def score(config: CoreConfig) -> float:
@@ -66,3 +165,18 @@ def cached(objective: Objective) -> Objective:
         return memo[key]
 
     return score
+
+
+def objective_fingerprint(objective: Objective) -> str:
+    """A short identity string for an objective (diagnostics/logging)."""
+    if isinstance(objective, WorkloadObjective):
+        return f"workload/{trace_fingerprint(objective.trace)}"
+    if isinstance(objective, SuiteObjective):
+        parts = ",".join(trace_fingerprint(t) for t in objective.traces)
+        return f"suite/{parts}"
+    if isinstance(objective, ContestPairObjective):
+        return (
+            f"contest/{trace_fingerprint(objective.trace)}/"
+            f"{objective.partner.name}/{objective.grb_latency_ns}"
+        )
+    return getattr(objective, "__name__", type(objective).__name__)

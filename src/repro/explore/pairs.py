@@ -17,9 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.system import ContestingSystem
+from repro.engine.jobs import ContestJob, TraceLike
 from repro.explore.space import DesignSpace, derive_config
-from repro.isa.trace import Trace
 from repro.uarch.config import CoreConfig
 from repro.util.rng import substream
 
@@ -27,39 +26,61 @@ from repro.util.rng import substream
 def contest_score(
     config_a: CoreConfig,
     config_b: CoreConfig,
-    trace: Trace,
+    trace: TraceLike,
     grb_latency_ns: float = 1.0,
+    engine=None,
 ) -> float:
-    """Contested IPT of a pair on a trace (the pair-exploration objective)."""
-    system = ContestingSystem(
-        [config_a, config_b], trace, grb_latency_ns=grb_latency_ns
+    """Contested IPT of a pair on a trace (the pair-exploration objective).
+
+    With an ``engine`` the contest resolves through its caches; without one
+    it runs here and now.
+    """
+    job = ContestJob(
+        configs=(config_a, config_b), trace=trace,
+        grb_latency_ns=grb_latency_ns,
     )
-    return system.run().ipt
+    result = engine.run(job) if engine is not None else job.run()
+    return result.ipt
 
 
 def best_partner_from_palette(
     base: CoreConfig,
     candidates: Sequence[CoreConfig],
-    trace: Trace,
+    trace: TraceLike,
     grb_latency_ns: float = 1.0,
+    engine=None,
 ) -> Tuple[CoreConfig, float]:
     """Contest ``base`` against every candidate; return the best partner.
 
     Candidates identical to ``base`` (same fingerprint) are skipped — a
-    core gains nothing from contesting an exact copy of itself.
+    core gains nothing from contesting an exact copy of itself.  With an
+    ``engine``, all candidate contests are submitted as one batch, so a
+    parallel executor evaluates the palette concurrently.
     """
     if not candidates:
         raise ValueError("need at least one candidate partner")
-    best: Optional[Tuple[CoreConfig, float]] = None
     base_print = base.fingerprint()
-    for candidate in candidates:
-        if candidate.fingerprint() == base_print:
-            continue
-        score = contest_score(base, candidate, trace, grb_latency_ns)
-        if best is None or score > best[1]:
-            best = (candidate, score)
-    if best is None:
+    contenders = [
+        c for c in candidates if c.fingerprint() != base_print
+    ]
+    if not contenders:
         raise ValueError("all candidates were identical to the base core")
+    jobs = [
+        ContestJob(
+            configs=(base, candidate), trace=trace,
+            grb_latency_ns=grb_latency_ns,
+        )
+        for candidate in contenders
+    ]
+    if engine is not None:
+        results = engine.run_many(jobs)
+    else:
+        results = [job.run() for job in jobs]
+    best: Optional[Tuple[CoreConfig, float]] = None
+    for candidate, result in zip(contenders, results):
+        if best is None or result.ipt > best[1]:
+            best = (candidate, result.ipt)
+    assert best is not None
     return best
 
 
@@ -82,13 +103,14 @@ class PairResult:
 
 
 def explore_contesting_pair(
-    trace: Trace,
+    trace: TraceLike,
     steps: int = 100,
     seed: int = 0,
     grb_latency_ns: float = 1.0,
     initial_temp: float = 0.25,
     final_temp: float = 0.01,
     space: Optional[DesignSpace] = None,
+    engine=None,
 ) -> PairResult:
     """Anneal over the joint (core A, core B) design space.
 
@@ -97,6 +119,7 @@ def explore_contesting_pair(
     contested IPT of the pair on ``trace``.  Budgets are the caller's
     problem — the paper notes this exploration is intrinsically slower
     than single-core customisation because every point is a co-simulation.
+    An ``engine`` adds persistent/result caching beneath the in-run memo.
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
@@ -109,7 +132,9 @@ def explore_contesting_pair(
         cb = derive_config("pair_b", gb)
         key = tuple(sorted((ca.fingerprint(), cb.fingerprint())))
         if key not in memo:
-            memo[key] = contest_score(ca, cb, trace, grb_latency_ns)
+            memo[key] = contest_score(
+                ca, cb, trace, grb_latency_ns, engine=engine
+            )
         return memo[key]
 
     current_a = space.random_genome(rng)

@@ -1,6 +1,9 @@
 """Trace container with region iteration and summary statistics."""
 
-from typing import Dict, Iterator, List, Sequence
+import hashlib
+import sys
+from array import array
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.isa.instructions import Instr, OpClass
 
@@ -26,6 +29,7 @@ class Trace:
         self.seed = seed
         #: indices at which a new fine-grain phase begins (diagnostics only)
         self.phase_starts: List[int] = list(phase_starts)
+        self._fingerprint: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -69,6 +73,38 @@ class Trace:
     def branch_count(self) -> int:
         """Number of dynamic conditional branches."""
         return sum(1 for i in self.instructions if i.op == OpClass.BRANCH)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the trace (hex digest).
+
+        Covers every timing-relevant instruction field plus the provenance
+        metadata (profile/trace name, generator seed, phase starts), so two
+        traces share a fingerprint iff a simulator cannot distinguish them.
+        The digest is platform-independent (fields are serialised
+        little-endian) and cached — traces are immutable by convention.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            header = (
+                f"repro-trace/1\x00{self.name}\x00{self.seed}"
+                f"\x00{len(self.instructions)}"
+                f"\x00{','.join(map(str, self.phase_starts))}"
+            )
+            h.update(header.encode())
+            instrs = self.instructions
+            ops = array("B", (i.op for i in instrs))
+            pcs = array("q", (i.pc for i in instrs))
+            dep1 = array("q", (i.dep1 for i in instrs))
+            dep2 = array("q", (i.dep2 for i in instrs))
+            addr = array("q", (i.addr for i in instrs))
+            taken = array("B", (1 if i.taken else 0 for i in instrs))
+            for arr in (ops, pcs, dep1, dep2, addr, taken):
+                if arr.itemsize > 1 and sys.byteorder == "big":
+                    arr = array(arr.typecode, arr)
+                    arr.byteswap()
+                h.update(arr.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:
         return (

@@ -230,6 +230,14 @@ class Core:
             return 0.0
         return self.commit_count * 1000.0 / self.time_ps
 
+    def collect_cache_stats(self) -> RunStats:
+        """Fold the cache hierarchy's counters into ``stats`` and return it
+        (called once, after the run, by every driver)."""
+        self.stats.l1_accesses = self.hierarchy.l1.accesses
+        self.stats.l1_misses = self.hierarchy.l1.misses
+        self.stats.l2_misses = self.hierarchy.l2.misses
+        return self.stats
+
     # ------------------------------------------------------------------
     # contesting entry points (called by the adapter)
     # ------------------------------------------------------------------

@@ -59,9 +59,7 @@ def run_standalone(
                 f"core {config.name} exceeded {limit} cycles on trace "
                 f"{trace.name}: likely a pipeline deadlock"
             )
-    core.stats.l1_accesses = core.hierarchy.l1.accesses
-    core.stats.l1_misses = core.hierarchy.l1.misses
-    core.stats.l2_misses = core.hierarchy.l2.misses
+    core.collect_cache_stats()
     return StandaloneResult(
         config_name=config.name,
         trace_name=trace.name,

@@ -1,0 +1,56 @@
+"""Executor equivalence: where a job runs must never change its result."""
+
+import pytest
+
+from repro.engine.executors import ParallelExecutor, SerialExecutor
+from repro.engine.jobs import ContestJob, RegionLogJob, StandaloneJob
+from repro.engine.jobs import TraceSpec
+from repro.uarch.config import core_config
+
+SPEC = TraceSpec("gcc", 1000, seed=11)
+SPEC_B = TraceSpec("vpr", 1000, seed=11)
+
+JOBS = [
+    StandaloneJob(core_config("gcc"), SPEC),
+    StandaloneJob(core_config("vpr"), SPEC),
+    StandaloneJob(core_config("mcf"), SPEC_B),
+    RegionLogJob(core_config("gcc"), SPEC),
+    ContestJob((core_config("gcc"), core_config("vpr")), SPEC),
+    ContestJob((core_config("bzip"), core_config("mcf")), SPEC_B),
+]
+
+
+class TestEquivalence:
+    def test_parallel_results_bit_identical_to_serial(self):
+        serial = [r for r, _ in SerialExecutor().run(JOBS)]
+        parallel = [
+            r for r, _ in ParallelExecutor(workers=2, chunk_size=2).run(JOBS)
+        ]
+        # dataclass equality is deep: every cycle count, per-region time,
+        # and per-core RunStats must match exactly
+        assert serial == parallel
+
+    def test_order_preserved(self):
+        results = [r for r, _ in ParallelExecutor(workers=2).run(JOBS[:3])]
+        assert [r.config_name for r in results] == ["gcc", "vpr", "mcf"]
+        assert results[2].trace_name == "vpr"
+
+
+class TestHarness:
+    def test_empty_batch(self):
+        assert ParallelExecutor(workers=2).run([]) == []
+
+    def test_single_worker_falls_back_to_serial(self):
+        results = ParallelExecutor(workers=1).run(JOBS[:1])
+        assert len(results) == 1
+
+    def test_timings_reported(self):
+        timed = SerialExecutor().run(JOBS[:2])
+        assert all(seconds >= 0 for _, seconds in timed)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=-1)
+
+    def test_derived_worker_count(self):
+        assert ParallelExecutor().workers >= 1

@@ -1,5 +1,6 @@
 import pytest
 
+from repro.engine import SimEngine
 from repro.experiments.common import SCALES, ExperimentContext
 from repro.uarch.config import core_config
 
@@ -44,6 +45,51 @@ class TestCaching:
         a = ctx.contest("gcc", cfgs, grb_latency_ns=1.0)
         b = ctx.contest("gcc", cfgs, grb_latency_ns=50.0)
         assert a is not b
+
+
+class TestKeyAliasing:
+    """Cache keys carry the trace identity, never the benchmark name alone:
+    contexts differing only in seed or scale must not share entries even
+    when they share one engine (the regression this guards was a
+    ``(bench, config)`` key aliasing stale results across seeds)."""
+
+    def test_seed_change_never_aliases(self):
+        engine = SimEngine()
+        ctx_a = ExperimentContext(
+            scale="tiny", benchmarks=("gcc",), seed=1, engine=engine
+        )
+        ctx_b = ExperimentContext(
+            scale="tiny", benchmarks=("gcc",), seed=2, engine=engine
+        )
+        a = ctx_a.standalone("gcc", core_config("gcc"))
+        b = ctx_b.standalone("gcc", core_config("gcc"))
+        assert a is not b
+        assert engine.stats.misses == 2  # two distinct simulations ran
+
+    def test_scale_change_never_aliases(self):
+        engine = SimEngine()
+        tiny = ExperimentContext(
+            scale="tiny", benchmarks=("gcc",), engine=engine
+        )
+        small = ExperimentContext(
+            scale="small", benchmarks=("gcc",), engine=engine
+        )
+        a = tiny.standalone("gcc", core_config("gcc"))
+        b = small.standalone("gcc", core_config("gcc"))
+        assert a.instructions != b.instructions
+
+    def test_same_recipe_shares_across_contexts(self):
+        engine = SimEngine()
+        ctx_a = ExperimentContext(
+            scale="tiny", benchmarks=("gcc",), engine=engine
+        )
+        ctx_b = ExperimentContext(
+            scale="tiny", benchmarks=("gcc",), engine=engine
+        )
+        a = ctx_a.standalone("gcc", core_config("gcc"))
+        b = ctx_b.standalone("gcc", core_config("gcc"))
+        assert a is b  # identical recipe: the engine deduplicates
+        assert engine.stats.misses == 1
 
 
 class TestDerived:

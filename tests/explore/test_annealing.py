@@ -81,3 +81,78 @@ class TestOnSimulator:
             workload_objective(tiny_trace), steps=6, seed=1
         )
         assert result.best_score > 0
+
+
+class TestEngineAnnealing:
+    def _objective(self):
+        from repro.engine import TraceSpec
+        from repro.explore.objective import workload_objective
+
+        return workload_objective(TraceSpec("gzip", 600, seed=5))
+
+    def test_engine_chain_matches_serial(self):
+        """With one neighbour per step the engine-batched chain is the
+        serial chain exactly (same rng consumption, same accepts)."""
+        from repro.engine import SimEngine
+
+        serial = simulated_annealing(self._objective(), steps=5, seed=4)
+        batched = simulated_annealing(
+            self._objective(), steps=5, seed=4,
+            engine=SimEngine(), neighbours_per_step=1,
+        )
+        assert batched.best_score == serial.best_score
+        assert batched.best_genome == serial.best_genome
+        assert batched.trajectory == serial.trajectory
+
+    def test_speculative_candidates_counted(self):
+        from repro.engine import SimEngine
+
+        result = simulated_annealing(
+            self._objective(), steps=3, seed=4,
+            engine=SimEngine(), neighbours_per_step=3,
+        )
+        assert result.evaluations == 1 + 3 * 3
+        assert result.best_score > 0
+
+    def test_invalid_neighbour_count(self):
+        with pytest.raises(ValueError):
+            simulated_annealing(
+                _synthetic_objective, steps=5, neighbours_per_step=0
+            )
+
+
+class TestEngineObjectives:
+    def test_objectives_expose_jobs(self, tiny_trace):
+        from repro.explore.objective import (
+            contest_pair_objective,
+            suite_objective,
+            workload_objective,
+        )
+        from repro.uarch.config import core_config
+
+        single = workload_objective(tiny_trace)
+        suite = suite_objective([tiny_trace])
+        pair = contest_pair_objective(tiny_trace, core_config("gcc"))
+        cfg = core_config("gzip")
+        assert len(single.jobs(cfg)) == 1
+        assert len(suite.jobs(cfg)) == 1
+        assert len(pair.jobs(cfg)) == 1
+        # callable form still works and agrees with jobs+combine
+        assert single(cfg) == single.combine(
+            [j.run() for j in single.jobs(cfg)]
+        )
+
+    def test_evaluate_candidates_batches(self, tiny_trace):
+        from repro.engine import SimEngine
+        from repro.explore.objective import (
+            evaluate_candidates,
+            workload_objective,
+        )
+        from repro.uarch.config import core_config
+
+        objective = workload_objective(tiny_trace)
+        engine = SimEngine()
+        configs = [core_config("gcc"), core_config("vpr")]
+        scores = evaluate_candidates(engine, objective, configs)
+        assert scores == [objective(c) for c in configs]
+        assert engine.stats.misses == 2
