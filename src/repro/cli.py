@@ -78,6 +78,38 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--lagger-policy", choices=("disable", "resync"), default="disable"
     )
+    fault = parser.add_argument_group(
+        "fault injection (contested runs only; see docs/robustness.md)"
+    )
+    fault.add_argument(
+        "--grb-drop", type=float, default=0.0, metavar="RATE",
+        help="fraction of GRB transfers lost in flight",
+    )
+    fault.add_argument(
+        "--grb-corrupt", type=float, default=0.0, metavar="RATE",
+        help="fraction of GRB transfers garbled (detected on use; the "
+             "receiver recovers by resync)",
+    )
+    fault.add_argument(
+        "--grb-delay", type=float, default=0.0, metavar="RATE",
+        help="fraction of GRB transfers delayed by --grb-delay-ns",
+    )
+    fault.add_argument(
+        "--grb-delay-ns", type=float, default=10.0, metavar="NS",
+        help="extra latency charged to delayed transfers (default: 10)",
+    )
+    fault.add_argument(
+        "--kill-core", type=int, default=None, metavar="ID",
+        help="kill this core (0-based index into the --core list) mid-run",
+    )
+    fault.add_argument(
+        "--kill-at", type=int, default=0, metavar="COMMITS",
+        help="retirement count at which --kill-core fires (default: 0)",
+    )
+    fault.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the per-transfer fault decisions (default: 0)",
+    )
     parser.add_argument(
         "--no-cache", action="store_true",
         help="do not read or write the persistent result store",
@@ -99,6 +131,12 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
     )
 
     if len(configs) == 1:
+        if (
+            args.grb_drop or args.grb_corrupt or args.grb_delay
+            or args.kill_core is not None
+        ):
+            parser.error("fault injection requires a contested run "
+                         "(two or more --core)")
         result = engine.run(StandaloneJob(configs[0], trace_ref))
         print(
             f"{result.trace_name} on {configs[0].name}: {result.ipt:.3f} IPT "
@@ -107,10 +145,34 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
             f"L1 miss {result.stats.l1_misses}/{result.stats.l1_accesses})"
         )
     else:
+        faults = None
+        if (
+            args.grb_drop or args.grb_corrupt or args.grb_delay
+            or args.kill_core is not None
+        ):
+            from repro.faults import FaultPlan
+
+            if args.kill_core is not None and not (
+                0 <= args.kill_core < len(configs)
+            ):
+                parser.error(
+                    f"--kill-core must index the --core list "
+                    f"(0..{len(configs) - 1})"
+                )
+            faults = FaultPlan(
+                seed=args.fault_seed,
+                drop_rate=args.grb_drop,
+                corrupt_rate=args.grb_corrupt,
+                delay_rate=args.grb_delay,
+                delay_ns=args.grb_delay_ns,
+                kill_core=args.kill_core,
+                kill_at_commit=args.kill_at,
+            )
         result = engine.run(ContestJob(
             configs=tuple(configs), trace=trace_ref,
             grb_latency_ns=args.latency_ns,
             lagger_policy=args.lagger_policy,
+            faults=faults,
         ))
         print(
             f"{result.trace_name} contested on {'+'.join(cores)}: "

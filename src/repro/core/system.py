@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.faults import XFER_CORRUPT, XFER_DELAY, XFER_DROP, XFER_OK
 from repro.isa.instructions import OpClass
 from repro.isa.trace import Trace
 from repro.core.storequeue import SyncStoreQueue
@@ -55,7 +56,10 @@ class ResultFifo:
     ``next_seq`` doubles as the paper's pop counter.
     """
 
-    __slots__ = ("sender_id", "next_seq", "arrivals", "popped_late", "popped_paired")
+    __slots__ = (
+        "sender_id", "next_seq", "arrivals", "popped_late", "popped_paired",
+        "faulted",
+    )
 
     def __init__(self, sender_id: int):
         self.sender_id = sender_id
@@ -63,6 +67,9 @@ class ResultFifo:
         self.arrivals = deque()
         self.popped_late = 0
         self.popped_paired = 0
+        #: seq -> XFER_DROP/XFER_CORRUPT for in-flight faulted transfers;
+        #: lazily allocated — stays None unless a FaultPlan is injecting
+        self.faulted: Optional[Dict[int, int]] = None
 
     def push(self, arrival_ps: int) -> None:
         """Enqueue the next retired result's arrival timestamp."""
@@ -129,6 +136,13 @@ class ContestingSystem:
     prewarm:
         Warm each core's caches/predictor with one functional pass (see
         :meth:`repro.uarch.core.Core._prewarm`).
+    faults:
+        Optional :class:`repro.faults.FaultPlan` perturbing this run
+        (dropped/corrupted/delayed GRB transfers, killed/stalled cores,
+        mid-run standalone flips).  ``None`` — the default — takes none
+        of the fault paths, keeping the run byte-identical to a build
+        without fault injection; diagnostics accumulate in
+        ``self.fault_stats`` when a plan is installed.
     """
 
     def __init__(
@@ -145,6 +159,7 @@ class ContestingSystem:
         resync_penalty_cycles: int = 100,
         shared_l3=None,
         shared_l3_latency_ns: float = 4.0,
+        faults=None,
     ):
         if len(configs) < 2:
             raise ValueError("contesting requires at least two cores")
@@ -229,6 +244,27 @@ class ContestingSystem:
         self.lead_changes = 0
         self.saturated: List[str] = []
 
+        #: the installed FaultPlan (None = no fault paths taken anywhere)
+        self.faults = faults
+        #: the plan again iff it makes per-transfer decisions, so a plan
+        #: that only kills/stalls cores costs nothing on the GRB hot path
+        self._xfer_faults = (
+            faults if faults is not None and faults.perturbs_transfers
+            else None
+        )
+        self._fault_delay_ps = (
+            ns_to_ps(faults.delay_ns) if faults is not None else 0
+        )
+        self._fault_killed = False
+        self._fault_flipped = False
+        self._pending_corruption: Optional[Core] = None
+        #: fault diagnostics (populated only when a plan is installed)
+        self.fault_stats: Dict[str, object] = {
+            "dropped": 0, "corrupted": 0, "delayed": 0,
+            "corrupt_consumed": 0, "recoveries": 0, "stalled_cycles": 0,
+            "killed": [], "flipped": [],
+        }
+
     # ------------------------------------------------------------------
     # adapter interface (called from Core)
     # ------------------------------------------------------------------
@@ -255,6 +291,8 @@ class ContestingSystem:
                 seq = fifo.next_seq
                 fifo.next_seq = seq + 1
                 fifo.popped_late += 1
+                if fifo.faulted is not None and fifo.faulted.pop(seq, 0):
+                    continue  # payload lost/garbled in flight: discard
                 if (
                     self.early_branch_resolution
                     and instrs[seq].op == _OP_BRANCH
@@ -286,6 +324,17 @@ class ContestingSystem:
             ):
                 fifo.arrivals.popleft()
                 fifo.next_seq = seq + 1
+                if fifo.faulted is not None:
+                    flag = fifo.faulted.pop(seq, 0)
+                    if flag == XFER_DROP:
+                        continue  # lost in flight: nothing usable arrived
+                    if flag == XFER_CORRUPT:
+                        # The garbled value is consumed, then caught by
+                        # the checking machinery: the receiver recovers
+                        # via the existing resync path after this step.
+                        self.fault_stats["corrupt_consumed"] += 1
+                        self._pending_corruption = core
+                        return False
                 fifo.popped_paired += 1
                 return True
         return False
@@ -294,10 +343,35 @@ class ContestingSystem:
         """Broadcast a retired instruction on ``core``'s GRB."""
         arrival = now_ps + self.latency_ps
         sender = core.core_id
-        for receiver in self._active:
-            if receiver is core or not receiver.contesting_enabled:
-                continue
-            self._fifo_index[receiver.core_id][sender].push(arrival)
+        xfer_faults = self._xfer_faults
+        if xfer_faults is None:
+            for receiver in self._active:
+                if receiver is core or not receiver.contesting_enabled:
+                    continue
+                self._fifo_index[receiver.core_id][sender].push(arrival)
+        else:
+            stats = self.fault_stats
+            for receiver in self._active:
+                if receiver is core or not receiver.contesting_enabled:
+                    continue
+                fifo = self._fifo_index[receiver.core_id][sender]
+                flag = xfer_faults.transfer_fault(
+                    sender, receiver.core_id, seq
+                )
+                if flag == XFER_OK:
+                    fifo.push(arrival)
+                elif flag == XFER_DELAY:
+                    stats["delayed"] += 1
+                    fifo.push(arrival + self._fault_delay_ps)
+                else:
+                    # the entry still occupies its FIFO slot (sequence
+                    # numbering is implicit), but its payload is marked
+                    # lost (DROP) or garbled (CORRUPT) for the pop paths
+                    if fifo.faulted is None:
+                        fifo.faulted = {}
+                    fifo.faulted[seq] = flag
+                    stats["dropped" if flag == XFER_DROP else "corrupted"] += 1
+                    fifo.push(arrival)
         # Emergent-leadership bookkeeping (diagnostics only).
         if core is not self._leader and core.commit_count > self._leader.commit_count:
             self._leader = core
@@ -339,6 +413,11 @@ class ContestingSystem:
         if self.lagger_policy == "resync":
             self._resync(core)
             return
+        self._remove_core(core)
+
+    def _remove_core(self, core: Core) -> None:
+        """Take a core out of the run entirely (saturation or fault kill):
+        halt it, release the store queue, and drop its queued results."""
         core.disable_contesting()
         core.halted = True
         self.saturated.append(core.config.name)
@@ -370,6 +449,78 @@ class ContestingSystem:
         self.resyncs += 1
 
     # ------------------------------------------------------------------
+    # fault orchestration (every path below requires an installed plan)
+    # ------------------------------------------------------------------
+
+    def _fault_preempt(self, core: Core, faults) -> bool:
+        """Apply core-level faults due at this core's current edge.
+
+        Returns True when the scheduled step must be skipped (the core was
+        killed, or this cycle is inside its stall window).  A standalone
+        flip falls through — the core still steps, it just stops receiving.
+        """
+        cid = core.core_id
+        if (
+            faults.kill_core == cid
+            and not self._fault_killed
+            and core.commit_count >= faults.kill_at_commit
+        ):
+            self._fault_killed = True
+            self._remove_core(core)
+            self.fault_stats["killed"].append(core.config.name)
+            return True
+        if (
+            faults.standalone_core == cid
+            and not self._fault_flipped
+            and core.commit_count >= faults.standalone_at_commit
+        ):
+            self._fault_flipped = True
+            core.disable_contesting()
+            self.fault_stats["flipped"].append(core.config.name)
+            # it no longer consumes its queued results
+            for fifo in self.fifos[cid]:
+                fifo.arrivals.clear()
+        if (
+            faults.stall_core == cid
+            and faults.stall_cycles > 0
+            and faults.stall_at_cycle
+            <= core.cycle
+            < faults.stall_at_cycle + faults.stall_cycles
+        ):
+            core.stall_cycle()
+            self.fault_stats["stalled_cycles"] += 1
+            return True
+        return False
+
+    def _recover_corruption(self, core: Core) -> None:
+        """Recover a core that consumed a garbled GRB result.
+
+        Detection terminates and re-forks the victim at the most advanced
+        retirement point — the same machinery ``_resync`` applies to a
+        saturated lagger, charging ``resync_penalty_cycles``.  Re-forking
+        in place (at the victim's own retirement point) is *not* enough:
+        its receive FIFOs would stay misaligned and fill while it
+        refetched the squashed window, tripping the saturation detector.
+        """
+        if core.halted or core.done:
+            return
+        target = max(
+            (c.commit_count for c in self._active), default=core.commit_count
+        )
+        core.resync(target, penalty_cycles=self.resync_penalty_cycles)
+        for fifo in self.fifos[core.core_id]:
+            fifo.arrivals.clear()
+            if fifo.next_seq < target:
+                fifo.next_seq = target
+        self.store_queue.set_progress(
+            core.core_id, self._store_prefix[target]
+        )
+        self._write_merged_to_shared()
+        self._over_since[core.core_id] = None
+        self.resyncs += 1
+        self.fault_stats["recoveries"] += 1
+
+    # ------------------------------------------------------------------
 
     def run(self, max_steps: int = 0) -> ContestResult:
         """Co-simulate until the first core retires the last instruction."""
@@ -379,6 +530,7 @@ class ContestingSystem:
             * len(self.cores)
             + 1_000_000
         )
+        faults = self.faults
         steps = 0
         active = self._active
         winner: Optional[Core] = None
@@ -390,7 +542,24 @@ class ContestingSystem:
                 if other.time_ps < t:
                     core = other
                     t = other.time_ps
+            if faults is not None and self._fault_preempt(core, faults):
+                active = self._active  # may shrink on a kill
+                if not active:
+                    raise RuntimeError(
+                        "fault plan removed every core; no progress possible"
+                    )
+                steps += 1
+                if steps > limit:
+                    raise RuntimeError(
+                        "contesting co-simulation exceeded its step budget: "
+                        "likely deadlock"
+                    )
+                continue
             core.step()
+            if faults is not None and self._pending_corruption is not None:
+                victim = self._pending_corruption
+                self._pending_corruption = None
+                self._recover_corruption(victim)
             if core.done:
                 winner = core
                 break

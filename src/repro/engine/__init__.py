@@ -16,7 +16,13 @@ See ``docs/engine.md`` for the cache layout and invalidation rules.
 """
 
 from repro.engine.engine import EngineStats, SimEngine
-from repro.engine.executors import ParallelExecutor, SerialExecutor
+from repro.engine.executors import (
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    derive_chunk_size,
+)
+from repro.engine.failures import JobFailure
 from repro.engine.jobs import (
     SCHEMA_VERSION,
     ContestJob,
@@ -33,10 +39,13 @@ __all__ = [
     "SCHEMA_VERSION",
     "ContestJob",
     "EngineStats",
+    "JobFailure",
     "ParallelExecutor",
     "RegionLogJob",
     "ResultStore",
+    "RetryPolicy",
     "SerialExecutor",
+    "derive_chunk_size",
     "SimEngine",
     "SimJob",
     "StandaloneJob",

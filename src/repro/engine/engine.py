@@ -17,12 +17,16 @@ runners print this to stderr so rendered experiment output stays
 byte-identical with and without caching.
 """
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine.executors import SerialExecutor
+from repro.engine.failures import JobFailure
 from repro.engine.jobs import SimJob
 from repro.engine.store import ResultStore
+
+_log = logging.getLogger("repro.engine")
 
 
 @dataclass
@@ -32,6 +36,8 @@ class EngineStats:
     memory_hits: int = 0
     store_hits: int = 0
     misses: int = 0
+    #: jobs that resolved to a JobFailure (never cached; retried next run)
+    failures: int = 0
     #: wall seconds spent inside simulations (sum over jobs; under a
     #: parallel executor this exceeds elapsed time)
     sim_seconds: float = 0.0
@@ -107,6 +113,14 @@ class SimEngine:
                 self.stats.executed[kind] = (
                     self.stats.executed.get(kind, 0) + 1
                 )
+                if isinstance(result, JobFailure):
+                    # failures are reported, never cached — a later run
+                    # (or a fixed environment) retries the simulation
+                    self.stats.failures += 1
+                    _log.warning("%s job failed: %s", kind, result)
+                    for i in pending[key]:
+                        results[i] = result
+                    continue
                 self._memory[key] = result
                 if self.store is not None:
                     self.store.put(key, kind, result)
@@ -125,6 +139,8 @@ class SimEngine:
             f"{s.sim_seconds:.1f}s simulated",
             f"{self.executor.workers} worker(s)",
         ]
+        if s.failures:
+            parts.insert(4, f"{s.failures} FAILED")
         if self.store is not None:
             c = self.store.counters()
             parts.append(

@@ -3,26 +3,187 @@
 Both executors implement one method — ``run(jobs) -> [(result, seconds)]``
 with results in submission order — so the engine is indifferent to where
 jobs execute.  Simulations are deterministic pure functions of their job,
-so the two executors return bit-identical results (asserted in
-``tests/engine/test_executors.py``); parallelism changes wall-clock time
-only.
+so the two executors return bit-identical results on the success path
+(asserted in ``tests/engine/test_executors.py``); parallelism changes
+wall-clock time only.
 
 The parallel executor ships jobs, not traces: jobs built on a
 :class:`~repro.engine.jobs.TraceSpec` pickle to a few hundred bytes and
 the worker regenerates (and memoises) the trace locally.  Jobs are batched
 into chunks so per-task IPC overhead amortises across many short
 simulations.
+
+Fault tolerance (see ``docs/engine.md``): the parallel executor submits
+each chunk as its own future and survives every per-job failure mode —
+
+* a job that **raises** is captured in the worker and retried under the
+  :class:`RetryPolicy` (bounded attempts, exponential backoff + seeded
+  jitter), with a final in-process serial attempt before it is reported
+  as a :class:`~repro.engine.failures.JobFailure`;
+* a worker that **dies** (OOM kill, segfault) breaks the process pool; the
+  pool is respawned and only the lost chunks re-run.  A break in full
+  parallelism is unattributable (every in-flight future reports
+  ``BrokenProcessPool``), so lost chunks re-run with no attempt spent and
+  the executor drops into *quarantine*: one chunk in flight at a time,
+  where a break is definitively that chunk's fault — it is split to
+  isolate the poisoned job, whose attempts then burn down to a failure
+  while its innocent chunk-mates complete;
+* a job that **hangs** past ``job_timeout_s`` is detected by a watchdog
+  that kills the workers (a hung worker cannot be cancelled), respawns the
+  pool, and fails the timed-out job (multi-job chunks are first split to
+  attribute the overrun); chunks lost as collateral re-run without
+  spending an attempt;
+* if the pool cannot be (re)created at all, everything left degrades to a
+  guarded serial run in the calling process.
+
+A batch therefore always returns one entry per job: failed jobs as
+``JobFailure`` results, successes intact and bit-identical to serial.
 """
 
+import logging
+import random
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Sequence, Tuple
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.jobs import SimJob, execute_job, execute_jobs
+from repro.engine.failures import JobFailure, job_kind
+from repro.engine.jobs import SimJob, execute_job
+
+_log = logging.getLogger("repro.engine")
+
+#: watchdog / completion poll interval (seconds)
+_POLL_S = 0.05
+
+
+def derive_chunk_size(n_jobs: int, workers: int, requested: int = 0) -> int:
+    """Jobs per worker task.
+
+    ``requested`` wins when non-zero.  Otherwise aim for ~4 chunks per
+    worker so stragglers load-balance — but never fragment a small batch
+    into 1-job chunks when fewer, larger chunks give the same makespan:
+    with ``workers < n_jobs <= 4 * workers`` the naive ``ceil(n / 4w)``
+    is 1 (maximum per-task IPC overhead) while one chunk per worker keeps
+    every worker exactly as busy with a fraction of the round trips.
+    """
+    if n_jobs < 1 or workers < 1:
+        raise ValueError("n_jobs and workers must be >= 1")
+    if requested:
+        return requested
+    size = -(-n_jobs // (4 * workers))
+    if size == 1 and n_jobs > workers:
+        size = -(-n_jobs // workers)
+    return size
+
+
+def _run_chunk(jobs: List[SimJob]) -> List[tuple]:
+    """Worker-side chunk runner with per-job exception capture.
+
+    Returns one outcome per job, in order: ``("ok", result, seconds)`` or
+    ``("err", type_name, message, formatted_traceback, seconds)``.  A
+    raising job therefore never poisons its chunk-mates; only a death of
+    the worker process itself (OOM, SIGKILL) loses the chunk.
+    """
+    out = []
+    for job in jobs:
+        started = time.perf_counter()
+        try:
+            result = job.run()
+        except Exception as exc:
+            out.append((
+                "err", type(exc).__name__, str(exc),
+                traceback.format_exc(), time.perf_counter() - started,
+            ))
+        else:
+            out.append(("ok", result, time.perf_counter() - started))
+    return out
+
+
+def _guarded_execute(job: SimJob, attempts: int = 1) -> Tuple[object, float]:
+    """Run a job in-process, converting an exception into a JobFailure."""
+    started = time.perf_counter()
+    try:
+        return execute_job(job)
+    except Exception as exc:
+        return (
+            JobFailure(
+                job_kind=job_kind(job),
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+                attempts=attempts,
+            ),
+            time.perf_counter() - started,
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry policy for the parallel executor.
+
+    Parameters
+    ----------
+    max_attempts:
+        Executions attempted per chunk before its jobs are failed
+        (worker deaths) or handed to the final serial fallback (raised
+        exceptions).
+    backoff_s / backoff_multiplier / jitter:
+        Sleep before retry ``k`` is ``backoff_s * multiplier**(k-1)``
+        scaled by ``1 ± jitter`` — exponential backoff with jitter so
+        co-scheduled runs don't respawn pools in lockstep.
+    jitter_seed:
+        Seed of the jitter stream (deterministic scheduling for tests).
+    job_timeout_s:
+        Per-job wall-clock budget; a chunk of ``k`` jobs gets ``k`` times
+        this.  ``None`` disables the watchdog.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.25
+    jitter_seed: int = 0
+    job_timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.backoff_multiplier < 1:
+            raise ValueError("backoff_s >= 0 and backoff_multiplier >= 1")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise ValueError("job_timeout_s must be positive")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before running ``attempt`` (attempt 2 is the first retry)."""
+        base = self.backoff_s * self.backoff_multiplier ** max(0, attempt - 2)
+        return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+
+
+class _Chunk:
+    """One schedulable unit: indices into the job list + retry state."""
+
+    __slots__ = ("indices", "attempt", "running_since", "timed_out")
+
+    def __init__(self, indices: Tuple[int, ...], attempt: int = 1):
+        self.indices = indices
+        self.attempt = attempt
+        self.running_since: Optional[float] = None
+        self.timed_out = False
 
 
 class SerialExecutor:
-    """Run every job in the calling process, in order."""
+    """Run every job in the calling process, in order.
+
+    Exceptions propagate (a serial run has a usable traceback and nothing
+    else in flight to protect); the parallel executor is the layer that
+    converts failures into :class:`~repro.engine.failures.JobFailure`.
+    """
 
     #: degree of parallelism (for reporting)
     workers = 1
@@ -33,37 +194,295 @@ class SerialExecutor:
 
 
 class ParallelExecutor:
-    """Fan jobs out over a ``ProcessPoolExecutor``.
+    """Fan jobs out over a ``ProcessPoolExecutor``, fault-tolerantly.
 
     Parameters
     ----------
     workers:
         Worker process count; 0 derives ``os.cpu_count()``.
     chunk_size:
-        Jobs per worker task; 0 derives ``ceil(len(jobs) / (4 * workers))``
-        so each worker sees ~4 chunks and stragglers still load-balance.
+        Jobs per worker task; 0 derives via :func:`derive_chunk_size`.
+    retry:
+        The :class:`RetryPolicy`; ``None`` uses the defaults (3 attempts,
+        50 ms base backoff, no per-job timeout).
     """
 
-    def __init__(self, workers: int = 0, chunk_size: int = 0):
+    def __init__(
+        self,
+        workers: int = 0,
+        chunk_size: int = 0,
+        retry: Optional[RetryPolicy] = None,
+    ):
         if workers < 0 or chunk_size < 0:
             raise ValueError("workers and chunk_size must be >= 0")
         self.workers = workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
+        self.retry = retry or RetryPolicy()
 
     def run(self, jobs: Sequence[SimJob]) -> List[Tuple[object, float]]:
-        """Execute the jobs across worker processes; order is preserved."""
+        """Execute the jobs across worker processes; order is preserved.
+
+        Every job gets an entry: successes as ``(result, seconds)``,
+        unrecoverable failures as ``(JobFailure, seconds)``.
+        """
         jobs = list(jobs)
         if not jobs:
             return []
         workers = min(self.workers, len(jobs))
         if workers <= 1:
-            return [execute_job(job) for job in jobs]
-        chunk = self.chunk_size or -(-len(jobs) // (4 * workers))
-        chunks = [
-            jobs[i : i + chunk] for i in range(0, len(jobs), chunk)
-        ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            timed: List[Tuple[object, float]] = []
-            for batch in pool.map(execute_jobs, chunks):
-                timed.extend(batch)
-        return timed
+            return [_guarded_execute(job) for job in jobs]
+        return self._run_pool(jobs, workers)
+
+    # ------------------------------------------------------------------
+
+    def _run_pool(self, jobs, workers) -> List[Tuple[object, float]]:
+        policy = self.retry
+        rng = random.Random(policy.jitter_seed)
+        n = len(jobs)
+        results: List[Optional[Tuple[object, float]]] = [None] * n
+        size = derive_chunk_size(n, workers, self.chunk_size)
+        queue: Deque[_Chunk] = deque(
+            _Chunk(tuple(range(i, min(i + size, n))))
+            for i in range(0, n, size)
+        )
+        pool: Optional[ProcessPoolExecutor] = None
+        quarantine = False
+        try:
+            while queue:
+                retry_round = any(c.attempt > 1 for c in queue)
+                if retry_round:
+                    time.sleep(policy.backoff(
+                        max(c.attempt for c in queue), rng
+                    ))
+                if pool is None:
+                    try:
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                    except OSError as exc:
+                        _log.warning(
+                            "cannot spawn a worker pool (%s); running %d "
+                            "chunk(s) serially", exc, len(queue),
+                        )
+                        while queue:
+                            chunk = queue.popleft()
+                            for i in chunk.indices:
+                                results[i] = _guarded_execute(
+                                    jobs[i], attempts=chunk.attempt
+                                )
+                        break
+                if quarantine:
+                    # one chunk in flight: a pool break is *this* chunk's
+                    # fault, so attempts are spent with exact attribution
+                    solo: Deque[_Chunk] = deque([queue.popleft()])
+                    broken = self._drive(
+                        pool, jobs, solo, results, attribute_breaks=True
+                    )
+                    queue.extendleft(reversed(solo))
+                else:
+                    broken = self._drive(pool, jobs, queue, results)
+                    if broken:
+                        quarantine = True
+                        _log.warning(
+                            "worker pool broke; re-running %d lost "
+                            "chunk(s) one at a time to isolate the "
+                            "culprit", len(queue),
+                        )
+                if broken:
+                    pool.shutdown(wait=False)
+                    pool = None
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        for i, slot in enumerate(results):
+            if slot is None:  # defensive: no job may go unanswered
+                results[i] = _guarded_execute(jobs[i])
+        return results
+
+    def _drive(
+        self, pool, jobs, queue, results, attribute_breaks=False
+    ) -> bool:
+        """Submit everything queued and absorb completions.
+
+        Returns True when the pool broke (caller respawns); the queue then
+        holds exactly the work that still needs a pool.  With
+        ``attribute_breaks`` a pool break charges the lost chunk an attempt
+        (quarantine mode: the caller guarantees one chunk in flight, so the
+        break is attributable); otherwise lost chunks are collateral and
+        re-run for free.
+        """
+        policy = self.retry
+        collateral = not attribute_breaks
+        inflight: Dict[object, _Chunk] = {}
+        broken = False
+        while queue:
+            chunk = queue.popleft()
+            try:
+                fut = pool.submit(
+                    _run_chunk, [jobs[i] for i in chunk.indices]
+                )
+            except (BrokenExecutor, RuntimeError):
+                queue.appendleft(chunk)
+                broken = True
+                break
+            inflight[fut] = chunk
+        while inflight and not broken:
+            done, _ = wait(
+                list(inflight), timeout=_POLL_S,
+                return_when=FIRST_COMPLETED,
+            )
+            for fut in done:
+                chunk = inflight.pop(fut)
+                broken |= self._absorb(
+                    fut, chunk, jobs, queue, results, collateral=collateral
+                )
+            if not broken and policy.job_timeout_s is not None:
+                if self._watchdog(pool, inflight):
+                    broken = True
+        # Pool broke: every in-flight future resolves (ok if it finished
+        # first, BrokenExecutor otherwise) — drain so only lost chunks
+        # re-run.  (A chunk the watchdog marked timed_out is handled by
+        # that flag regardless of the collateral setting.)
+        for fut, chunk in inflight.items():
+            self._absorb(
+                fut, chunk, jobs, queue, results,
+                draining=True, collateral=collateral,
+            )
+        return broken
+
+    def _absorb(
+        self, fut, chunk, jobs, queue, results,
+        draining=False, collateral=False,
+    ) -> bool:
+        """Fold one finished future into results/queue; True if pool broke."""
+        policy = self.retry
+        try:
+            outcomes = fut.result(timeout=30 if draining else None)
+        except BrokenExecutor:
+            self._requeue_lost(chunk, jobs, queue, results, collateral)
+            return True
+        except Exception as exc:  # unpicklable job/result etc.
+            for i in chunk.indices:
+                results[i] = (
+                    JobFailure(
+                        job_kind=job_kind(jobs[i]),
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        attempts=chunk.attempt,
+                    ),
+                    0.0,
+                )
+            return False
+        for i, outcome in zip(chunk.indices, outcomes):
+            if outcome[0] == "ok":
+                results[i] = (outcome[1], outcome[2])
+                continue
+            _, err_type, message, tb, seconds = outcome
+            if chunk.attempt < policy.max_attempts:
+                queue.append(_Chunk((i,), attempt=chunk.attempt + 1))
+                continue
+            # Final serial fallback: one in-process attempt, then report.
+            _log.warning(
+                "job %d failed %d time(s) in workers (%s: %s); trying "
+                "serially", i, chunk.attempt, err_type, message,
+            )
+            result, secs = _guarded_execute(
+                jobs[i], attempts=chunk.attempt + 1
+            )
+            if isinstance(result, JobFailure):
+                result = JobFailure(
+                    job_kind=result.job_kind, error_type=err_type,
+                    message=message, traceback=tb,
+                    attempts=chunk.attempt + 1,
+                )
+            results[i] = (result, secs + seconds)
+        return False
+
+    def _requeue_lost(
+        self, chunk, jobs, queue, results, collateral=False
+    ) -> None:
+        """Reschedule (or fail) a chunk whose worker vanished.
+
+        ``collateral`` marks chunks lost only because the watchdog killed
+        the pool for *another* chunk's overrun: they re-run with no
+        attempt spent.
+        """
+        policy = self.retry
+        if chunk.timed_out:
+            if len(chunk.indices) == 1:
+                i = chunk.indices[0]
+                results[i] = (
+                    JobFailure(
+                        job_kind=job_kind(jobs[i]),
+                        error_type="JobTimeout",
+                        message=(
+                            f"exceeded {policy.job_timeout_s}s wall-clock "
+                            "budget"
+                        ),
+                        attempts=chunk.attempt,
+                    ),
+                    policy.job_timeout_s or 0.0,
+                )
+            else:
+                # split to attribute the overrun; same attempt — the
+                # singles each get their own (smaller) budget
+                for i in chunk.indices:
+                    queue.append(_Chunk((i,), attempt=chunk.attempt))
+            return
+        if collateral:
+            fresh = _Chunk(chunk.indices, attempt=chunk.attempt)
+            fresh.running_since = None
+            queue.append(fresh)
+            return
+        if chunk.attempt >= policy.max_attempts:
+            for i in chunk.indices:
+                results[i] = (
+                    JobFailure(
+                        job_kind=job_kind(jobs[i]),
+                        error_type="WorkerDied",
+                        message=(
+                            "worker process died (killed or crashed) "
+                            f"after {chunk.attempt} attempt(s)"
+                        ),
+                        attempts=chunk.attempt,
+                    ),
+                    0.0,
+                )
+        elif len(chunk.indices) > 1:
+            # isolate the poison: innocent chunk-mates succeed as singles
+            for i in chunk.indices:
+                queue.append(_Chunk((i,), attempt=chunk.attempt + 1))
+        else:
+            queue.append(_Chunk(chunk.indices, attempt=chunk.attempt + 1))
+
+    def _watchdog(self, pool, inflight) -> bool:
+        """Kill the pool when a running chunk exceeds its time budget.
+
+        A hung worker cannot be cancelled through the executor API, so the
+        watchdog kills the worker processes: in-flight futures then raise
+        ``BrokenProcessPool`` and the drain path re-runs everything except
+        the timed-out chunk (marked here), which is failed or split.
+        """
+        policy = self.retry
+        now = time.monotonic()
+        fired = False
+        for fut, chunk in inflight.items():
+            if not fut.running():
+                continue
+            if chunk.running_since is None:
+                chunk.running_since = now
+            elif (
+                now - chunk.running_since
+                > policy.job_timeout_s * len(chunk.indices)
+            ):
+                chunk.timed_out = True
+                fired = True
+        if fired:
+            _log.warning(
+                "watchdog: job exceeded %.1fs budget; recycling the "
+                "worker pool", policy.job_timeout_s,
+            )
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.kill()
+                except OSError:
+                    pass
+        return fired

@@ -24,10 +24,11 @@ under the old behaviour is invalidated at once.
 import hashlib
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.regions import BASE_REGION, RegionLog, region_log
 from repro.core.system import ContestingSystem, ContestResult
+from repro.faults import FaultPlan
 from repro.isa.generator import generate_trace
 from repro.isa.trace import Trace
 from repro.isa.workloads import workload_profile
@@ -168,18 +169,27 @@ class ContestJob:
     sat_grace_ns: float = 400.0
     lagger_policy: str = "disable"
     resync_penalty_cycles: int = 100
+    #: optional fault-injection plan (see :mod:`repro.faults`)
+    faults: Optional[FaultPlan] = None
 
     kind = "contest"
 
     def cache_key(self) -> str:
-        """Content hash of every config, the trace, and the contest knobs."""
-        return _digest(
+        """Content hash of every config, the trace, and the contest knobs.
+
+        A fault plan joins the key only when one is installed, so every
+        pre-existing (fault-free) cache entry keeps its identity.
+        """
+        parts = (
             SCHEMA_VERSION, self.kind,
             tuple(c.fingerprint() for c in self.configs),
             trace_fingerprint(self.trace), self.grb_latency_ns,
             self.max_lag, self.sat_grace_ns, self.lagger_policy,
             self.resync_penalty_cycles,
         )
+        if self.faults is not None:
+            parts = parts + (("faults", self.faults.fingerprint()),)
+        return _digest(*parts)
 
     def run(self) -> ContestResult:
         """Execute the job in this process."""
@@ -188,6 +198,7 @@ class ContestJob:
             grb_latency_ns=self.grb_latency_ns, max_lag=self.max_lag,
             sat_grace_ns=self.sat_grace_ns, lagger_policy=self.lagger_policy,
             resync_penalty_cycles=self.resync_penalty_cycles,
+            faults=self.faults,
         )
         return system.run()
 

@@ -11,6 +11,13 @@ The schema version is in the filename as well as in every key (see
 :mod:`repro.engine.jobs`), so bumping it simply starts a fresh file and
 leaves the stale one inert.
 
+Concurrency: appends are a single ``O_APPEND`` ``write(2)`` issued under
+an advisory lock on a sibling ``.lock`` file, so two processes sharing a
+store never interleave bytes *within* a line; compaction rewrites into a
+per-pid temp file and atomically ``rename(2)``\\ s it into place under the
+same lock.  On platforms without ``fcntl`` the lock degrades to nothing
+and the single-write append remains the (practically sufficient) defence.
+
 Capacity is bounded by ``max_entries``: inserting beyond it evicts the
 oldest entries (insertion order) and compacts the file.  Hit/miss/eviction
 counters accumulate on the instance and are surfaced by the engine.
@@ -18,9 +25,18 @@ counters accumulate on the instance and are surfaced by the engine.
 
 import dataclasses
 import json
+import logging
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Optional, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+_log = logging.getLogger("repro.engine")
 
 from repro.analysis.regions import RegionLog
 from repro.core.system import ContestResult
@@ -89,6 +105,7 @@ class ResultStore:
         else:
             self.path = base / f"results-v{SCHEMA_VERSION}.jsonl"
         self.max_entries = max_entries
+        self._lock_path = self.path.with_name(self.path.name + ".lock")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -151,12 +168,43 @@ class ResultStore:
             {"key": key, "kind": kind, "value": record["value"]},
             separators=(",", ":"),
         )
+        data = (line + "\n").encode()
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a") as fh:
-                fh.write(line + "\n")
+            with self._locked():
+                # one O_APPEND write(2) per record: concurrent appenders
+                # may interleave *lines*, never bytes within a line
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+                )
+                try:
+                    os.write(fd, data)
+                finally:
+                    os.close(fd)
         except OSError:
             pass  # read-only filesystem: stay a process-lifetime cache
+
+    @contextmanager
+    def _locked(self):
+        """Hold the store's advisory file lock (no-op without ``fcntl``)."""
+        if fcntl is None:
+            yield
+            return
+        try:
+            fd = os.open(
+                self._lock_path, os.O_CREAT | os.O_RDWR, 0o644
+            )
+        except OSError:
+            yield  # unlockable filesystem: fall back to the atomic write
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
 
     def _evict_to_capacity(self, rewrite: bool) -> None:
         evicted = 0
@@ -175,13 +223,22 @@ class ResultStore:
             )
             for k, r in self._entries.items()
         ]
+        # per-pid temp name + atomic rename: a concurrent reader sees
+        # either the old file or the new one, never a half-written mix
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = self.path.with_suffix(".jsonl.tmp")
-            tmp.write_text("\n".join(lines) + ("\n" if lines else ""))
-            tmp.replace(self.path)
+            with self._locked():
+                tmp.write_text("\n".join(lines) + ("\n" if lines else ""))
+                tmp.replace(self.path)
+            _log.debug(
+                "compacted %s to %d entries", self.path, len(lines)
+            )
         except OSError:
-            pass
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def counters(self) -> Dict[str, int]:
         """Hit/miss/eviction/corruption counters as a plain dict."""

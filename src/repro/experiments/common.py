@@ -139,23 +139,25 @@ class ExperimentContext:
         max_lag: int = 0,
         sat_grace_ns: float = 400.0,
         lagger_policy: str = "disable",
+        faults=None,
     ) -> ContestResult:
         """Contested run of the benchmark on the given cores (engine-cached).
 
-        ``max_lag`` / ``sat_grace_ns`` / ``lagger_policy`` forward to
-        :class:`~repro.core.system.ContestingSystem` and participate in the
-        cache key.
+        ``max_lag`` / ``sat_grace_ns`` / ``lagger_policy`` / ``faults``
+        forward to :class:`~repro.core.system.ContestingSystem` and
+        participate in the cache key.
         """
         latency = (
             self.grb_latency_ns if grb_latency_ns is None else grb_latency_ns
         )
         return self.engine.run(self._contest_job(
-            bench, configs, latency, max_lag, sat_grace_ns, lagger_policy
+            bench, configs, latency, max_lag, sat_grace_ns, lagger_policy,
+            faults,
         ))
 
     def _contest_job(
         self, bench, configs, latency, max_lag=0, sat_grace_ns=400.0,
-        lagger_policy="disable",
+        lagger_policy="disable", faults=None,
     ) -> ContestJob:
         return ContestJob(
             configs=tuple(configs),
@@ -164,6 +166,7 @@ class ExperimentContext:
             max_lag=max_lag,
             sat_grace_ns=sat_grace_ns,
             lagger_policy=lagger_policy,
+            faults=faults,
         )
 
     # --- derived artefacts ----------------------------------------------

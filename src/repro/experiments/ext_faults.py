@@ -1,0 +1,128 @@
+"""Extension experiment: graceful degradation under GRB and core faults.
+
+Architectural contesting is naturally fail-soft: the GRB result transfers
+are *hints* (injections and early branch resolutions), so losing them can
+slow the gang down but never corrupt architectural state, and a dead core
+is handled by the same machinery that removes a saturated lagger.  This
+experiment quantifies both claims with the :mod:`repro.faults` harness:
+
+* **Drop sweep** — contest each benchmark's first candidate pair while a
+  seeded :class:`~repro.faults.FaultPlan` drops a growing fraction of GRB
+  transfers.  Expected shape: contested IPT degrades monotonically from
+  the fault-free gang toward (and never materially below) the best
+  standalone core — hints lost, correctness kept.
+* **Leader kill** — kill the fault-free winner at several points through
+  the run.  The run must still complete, with the surviving core taking
+  over as leader; reported IPT shows the cost of losing the fast core
+  early versus late.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import ExperimentContext
+from repro.faults import FaultPlan
+from repro.uarch.config import core_config
+from repro.util.tables import format_table
+
+#: fraction of GRB transfers dropped in the sweep
+DROP_RATES = (0.0, 0.10, 0.25, 0.50)
+#: points (fraction of the trace retired) at which the leader is killed
+KILL_FRACTIONS = (0.25, 0.50, 0.75)
+#: seed for every fault plan (decisions are hash-based; see repro.faults)
+FAULT_SEED = 1009
+
+
+@dataclass
+class ExtFaultsResult:
+    drop_rates: Tuple[float, ...]
+    kill_fractions: Tuple[float, ...]
+    #: per benchmark: the contested pair the sweep ran on
+    pairs: Dict[str, Tuple[str, str]]
+    #: per benchmark: IPT of the best standalone core (the fail-soft floor)
+    standalone: Dict[str, float]
+    #: per benchmark: contested IPT per drop rate (same order as drop_rates)
+    drop_ipt: Dict[str, List[float]]
+    #: per benchmark: winner of the fault-free contest (the kill target)
+    winners: Dict[str, str]
+    #: per benchmark: (winner after the kill, IPT) per kill fraction
+    kills: Dict[str, List[Tuple[str, float]]]
+
+    def render(self) -> str:
+        """Drop-sweep and leader-kill tables."""
+        drop_table = format_table(
+            ["benchmark", "pair", "standalone"]
+            + [f"drop {rate:.0%}" for rate in self.drop_rates],
+            [
+                [bench, "+".join(self.pairs[bench]), self.standalone[bench]]
+                + list(self.drop_ipt[bench])
+                for bench in sorted(self.pairs)
+            ],
+            title="Extension: contested IPT under GRB transfer drops",
+        )
+        kill_table = format_table(
+            ["benchmark", "clean winner"]
+            + [f"kill @{frac:.0%}" for frac in self.kill_fractions],
+            [
+                [bench, self.winners[bench]]
+                + [
+                    f"{winner} ({ipt:.2f})"
+                    for winner, ipt in self.kills[bench]
+                ]
+                for bench in sorted(self.kills)
+            ],
+            title="Extension: leader killed mid-run (survivor finishes)",
+        )
+        return (
+            f"{drop_table}\n\n{kill_table}\n"
+            "(dropped transfers cost hints, never correctness: IPT decays "
+            "from the fault-free gang toward the best standalone core; a "
+            "killed leader is removed like a saturated lagger and the "
+            "survivor completes the run)"
+        )
+
+
+def run(ctx: ExperimentContext) -> ExtFaultsResult:
+    """Sweep GRB drop rates and leader-kill points per benchmark."""
+    pairs: Dict[str, Tuple[str, str]] = {}
+    standalone: Dict[str, float] = {}
+    drop_ipt: Dict[str, List[float]] = {}
+    kills: Dict[str, List[Tuple[str, float]]] = {}
+    winners: Dict[str, str] = {}
+    trace_len = ctx.scale.trace_len
+    for bench in ctx.benchmarks:
+        pair = ctx.candidate_pairs(bench)[0]
+        pairs[bench] = pair
+        configs = [core_config(pair[0]), core_config(pair[1])]
+        standalone[bench] = max(
+            ctx.standalone_ipt(bench, name) for name in pair
+        )
+        sweep: List[float] = []
+        for rate in DROP_RATES:
+            plan = (
+                FaultPlan(seed=FAULT_SEED, drop_rate=rate) if rate else None
+            )
+            sweep.append(ctx.contest(bench, configs, faults=plan).ipt)
+        drop_ipt[bench] = sweep
+        clean_winner = ctx.contest(bench, configs).winner
+        winners[bench] = clean_winner
+        winner_id = 0 if configs[0].name == clean_winner else 1
+        killed: List[Tuple[str, float]] = []
+        for frac in KILL_FRACTIONS:
+            plan = FaultPlan(
+                seed=FAULT_SEED,
+                kill_core=winner_id,
+                kill_at_commit=int(frac * trace_len),
+            )
+            result = ctx.contest(bench, configs, faults=plan)
+            killed.append((result.winner, result.ipt))
+        kills[bench] = killed
+    return ExtFaultsResult(
+        drop_rates=DROP_RATES,
+        kill_fractions=KILL_FRACTIONS,
+        pairs=pairs,
+        standalone=standalone,
+        drop_ipt=drop_ipt,
+        winners=winners,
+        kills=kills,
+    )

@@ -20,16 +20,31 @@ rendered output stays byte-identical across cache states and job counts.
 """
 
 import argparse
+import logging
 import sys
 import time
+import traceback
 from typing import Callable, Dict, Optional
 
 from repro.engine import ParallelExecutor, ResultStore, SimEngine
 from repro.experiments import fig01, fig06, fig07, fig08, fig09, fig10
 from repro.experiments import fig11, fig12, fig13, appendix_a, table1
-from repro.experiments import ext_energy, ext_nway, ext_queueing, ext_resync
-from repro.experiments import ext_robustness
+from repro.experiments import ext_energy, ext_faults, ext_nway
+from repro.experiments import ext_queueing, ext_resync, ext_robustness
 from repro.experiments.common import SCALES, ExperimentContext
+
+_log = logging.getLogger("repro.experiments")
+
+
+class SuiteFailure(RuntimeError):
+    """Raised by :func:`run_all` under ``keep_going`` when any experiment
+    failed; carries the per-experiment tracebacks."""
+
+    def __init__(self, errors: Dict[str, str]):
+        super().__init__(
+            f"{len(errors)} experiment(s) failed: {', '.join(errors)}"
+        )
+        self.errors = errors
 
 
 def _render(module, result) -> str:
@@ -57,6 +72,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext_resync": ext_resync.run,
     "ext_energy": ext_energy.run,
     "ext_robustness": ext_robustness.run,
+    "ext_faults": ext_faults.run,
 }
 
 _MODULES = {
@@ -67,6 +83,7 @@ _MODULES = {
     "ext_resync": ext_resync,
     "ext_energy": ext_energy,
     "ext_robustness": ext_robustness,
+    "ext_faults": ext_faults,
 }
 
 
@@ -88,17 +105,24 @@ def build_engine(
     return SimEngine(executor=executor, store=store)
 
 
-def run_all(scale: str = "default", names=None, stream=None, engine=None):
+def run_all(
+    scale: str = "default", names=None, stream=None, engine=None,
+    keep_going: bool = False,
+):
     """Run the selected experiments, print each, return the result dict.
 
     ``engine`` defaults to a serial, memory-cache-only
     :class:`~repro.engine.SimEngine`; pass :func:`build_engine`'s product
-    for parallel execution and/or persistent caching.
+    for parallel execution and/or persistent caching.  With ``keep_going``
+    a failing experiment is recorded (traceback and all) and the rest still
+    run; a :class:`SuiteFailure` is raised at the end instead of on the
+    first error.
     """
     stream = stream if stream is not None else sys.stdout
     ctx = ExperimentContext(scale=scale, engine=engine)
     selected = list(names) if names else list(EXPERIMENTS)
     results = {}
+    errors: Dict[str, str] = {}
     for name in selected:
         if name not in EXPERIMENTS:
             raise ValueError(
@@ -109,17 +133,24 @@ def run_all(scale: str = "default", names=None, stream=None, engine=None):
         ctx.prefetch()
     for name in selected:
         started = time.time()
-        result = EXPERIMENTS[name](ctx)
+        try:
+            result = EXPERIMENTS[name](ctx)
+        except Exception:
+            if not keep_going:
+                raise
+            errors[name] = traceback.format_exc()
+            _log.error("%s failed (continuing):\n%s", name, errors[name])
+            continue
         results[name] = result
         # the rendered stream carries no timings, so it is byte-identical
-        # across cache states and worker counts; timing goes to stderr
+        # across cache states and worker counts; timing goes to the
+        # ``repro.experiments`` logger (stderr under the CLI)
         print(f"\n=== {name} ===", file=stream)
         print(_render(_MODULES[name], result), file=stream)
-        print(
-            f"[runner] {name}: {time.time() - started:.1f}s",
-            file=sys.stderr,
-        )
-    print(ctx.engine.stats_line(), file=sys.stderr)
+        _log.info("%s: %.1fs", name, time.time() - started)
+    _log.info("%s", ctx.engine.stats_line())
+    if errors:
+        raise SuiteFailure(errors)
     return results
 
 
@@ -156,7 +187,21 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="disable the persistent result store",
     )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="per-experiment timing and engine/store counters on stderr",
+    )
+    parser.add_argument(
+        "--keep-going", "-k", action="store_true",
+        help="on an experiment failure, record it and run the rest "
+             "(exit non-zero at the end)",
+    )
     args = parser.parse_args(argv)
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.INFO if args.verbose else logging.WARNING,
+        format="[%(name)s] %(message)s",
+    )
     if args.list:
         for name in EXPERIMENTS:
             print(name)
@@ -179,15 +224,27 @@ def main(argv=None) -> int:
                 for s in self._streams:
                     s.flush()
 
-        with open(args.output, "w") as fh:
-            run_all(
-                scale=args.scale,
-                names=args.names or None,
-                stream=_Tee(sys.stdout, fh),
-                engine=engine,
-            )
-    else:
-        run_all(scale=args.scale, names=args.names or None, engine=engine)
+        try:
+            with open(args.output, "w") as fh:
+                run_all(
+                    scale=args.scale,
+                    names=args.names or None,
+                    stream=_Tee(sys.stdout, fh),
+                    engine=engine,
+                    keep_going=args.keep_going,
+                )
+        except SuiteFailure as failure:
+            print(f"[runner] {failure}", file=sys.stderr)
+            return 1
+        return 0
+    try:
+        run_all(
+            scale=args.scale, names=args.names or None, engine=engine,
+            keep_going=args.keep_going,
+        )
+    except SuiteFailure as failure:
+        print(f"[runner] {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,13 +1,40 @@
-"""Simulated annealing over the core design space (XpScalar's procedure)."""
+"""Simulated annealing over the core design space (XpScalar's procedure).
 
+Long anneals can checkpoint (``checkpoint_path``/``checkpoint_every``): the
+full chain state — current/best genome and score, step, temperature, the
+exact RNG state — is written atomically every N steps, and ``resume=True``
+restarts a killed run from the last accepted checkpoint, continuing the
+*identical* chain (a resumed run returns the same result as an uninterrupted
+one).  A checkpoint records its ``seed``/``steps`` identity and is refused
+for a mismatched run rather than silently continuing a different chain.
+"""
+
+import json
 import math
+import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.explore.objective import EngineObjective, Objective, cached
 from repro.explore.objective import evaluate_candidates
 from repro.explore.space import DesignSpace, derive_config
 from repro.util.rng import substream
+
+#: checkpoint format version; bump on layout change
+_CHECKPOINT_VERSION = 1
+
+
+def _rng_state_to_json(state) -> list:
+    """``random.Random.getstate()`` tuple -> JSON-serialisable list."""
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def _rng_state_from_json(payload) -> tuple:
+    """Inverse of :func:`_rng_state_to_json`."""
+    version, internal, gauss = payload
+    return (version, tuple(internal), gauss)
 
 
 @dataclass
@@ -36,6 +63,9 @@ def simulated_annealing(
     memoise: bool = True,
     engine=None,
     neighbours_per_step: int = 1,
+    checkpoint_path=None,
+    checkpoint_every: int = 25,
+    resume: bool = False,
 ) -> AnnealingResult:
     """Maximise ``objective`` over the design space.
 
@@ -51,6 +81,11 @@ def simulated_annealing(
     the Metropolis test to the candidates in proposal order and accepts the
     first that passes (speculative parallel annealing).  With
     ``neighbours_per_step=1`` the chain is identical to the serial one.
+
+    ``checkpoint_path`` enables periodic checkpointing (every
+    ``checkpoint_every`` steps, atomically); with ``resume=True`` a
+    matching checkpoint restarts the chain mid-run and the checkpoint file
+    is removed on successful completion.
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
@@ -58,6 +93,8 @@ def simulated_annealing(
         raise ValueError("require 0 < final_temp <= initial_temp")
     if neighbours_per_step < 1:
         raise ValueError("neighbours_per_step must be >= 1")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
     rng = substream(seed, "annealing")
     space = space or DesignSpace()
     batched = engine is not None and isinstance(objective, EngineObjective)
@@ -74,15 +111,66 @@ def simulated_annealing(
         def score_batch(genomes):
             return [serial(derive_config(name, g)) for g in genomes]
 
-    current = space.random_genome(rng)
-    current_score = score_batch([current])[0]
-    best, best_score = dict(current), current_score
-    evaluations = 1
-    trajectory = [(0, current_score)]
-    cooling = (final_temp / initial_temp) ** (1.0 / steps)
-    temp = initial_temp
+    checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
 
-    for step in range(1, steps + 1):
+    def save_checkpoint(step, temp, current, current_score, best,
+                        best_score, evaluations, trajectory):
+        payload = {
+            "version": _CHECKPOINT_VERSION,
+            "seed": seed,
+            "steps": steps,
+            "step": step,
+            "temp": temp,
+            "current": current,
+            "current_score": current_score,
+            "best": best,
+            "best_score": best_score,
+            "evaluations": evaluations,
+            "trajectory": trajectory,
+            "rng_state": _rng_state_to_json(rng.getstate()),
+        }
+        tmp = checkpoint_path.with_name(
+            checkpoint_path.name + f".tmp.{os.getpid()}"
+        )
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(checkpoint_path)  # atomic: a crash leaves old or new
+
+    resumed = None
+    if resume and checkpoint_path is not None and checkpoint_path.exists():
+        payload = json.loads(checkpoint_path.read_text())
+        if payload.get("version") != _CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {checkpoint_path} has version "
+                f"{payload.get('version')!r}; expected {_CHECKPOINT_VERSION}"
+            )
+        if payload["seed"] != seed or payload["steps"] != steps:
+            raise ValueError(
+                f"checkpoint {checkpoint_path} belongs to a different run "
+                f"(seed={payload['seed']}, steps={payload['steps']}; "
+                f"this run has seed={seed}, steps={steps})"
+            )
+        resumed = payload
+
+    if resumed is not None:
+        current = resumed["current"]
+        current_score = resumed["current_score"]
+        best, best_score = resumed["best"], resumed["best_score"]
+        evaluations = resumed["evaluations"]
+        trajectory = [tuple(t) for t in resumed["trajectory"]]
+        temp = resumed["temp"]
+        start_step = resumed["step"] + 1
+        rng.setstate(_rng_state_from_json(resumed["rng_state"]))
+    else:
+        current = space.random_genome(rng)
+        current_score = score_batch([current])[0]
+        best, best_score = dict(current), current_score
+        evaluations = 1
+        trajectory = [(0, current_score)]
+        temp = initial_temp
+        start_step = 1
+    cooling = (final_temp / initial_temp) ** (1.0 / steps)
+
+    for step in range(start_step, steps + 1):
         candidates = [
             space.neighbour(current, rng)
             for _ in range(neighbours_per_step)
@@ -101,6 +189,21 @@ def simulated_annealing(
                     best, best_score = dict(current), current_score
                 break
         temp *= cooling
+        if (
+            checkpoint_path is not None
+            and (step % checkpoint_every == 0 or step == steps)
+        ):
+            save_checkpoint(
+                step, temp, current, current_score, best, best_score,
+                evaluations, trajectory,
+            )
+
+    if checkpoint_path is not None:
+        # the run completed; a stale checkpoint must not hijack the next one
+        try:
+            checkpoint_path.unlink()
+        except OSError:
+            pass
 
     return AnnealingResult(
         best_genome=best,

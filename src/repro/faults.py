@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the contesting system.
+
+A :class:`FaultPlan` perturbs one contested run (see ``docs/robustness.md``
+and the hooks in :class:`repro.core.system.ContestingSystem`):
+
+* **Transfer faults** — each GRB result transfer (one retired instruction,
+  one sender→receiver hop) can be *dropped* (the payload is lost in
+  flight; the receiver discards the entry and gets no injection or early
+  branch resolution from it), *corrupted* (the payload is garbled; if the
+  receiver would have consumed it as a paired injection the corruption is
+  detected and the receiver recovers through the existing resync path —
+  pipeline squash plus ``resync_penalty_cycles``), or *delayed* (arrival
+  pushed out by ``delay_ns``; later transfers on the ordered bus queue
+  behind it).
+* **Core faults** — a core can be *killed* outright at a retirement point
+  (it is removed from contesting exactly like a saturated lagger, and the
+  surviving cores finish the run), *stalled* for a window of its own
+  cycles (its clock advances, no work happens — a transient hang), or
+  *flipped to standalone* (it stops receiving GRB results mid-run and
+  reverts to its own speed, the paper's implicit fail-soft mode).
+
+Decisions are **counter-based**: a transfer's fate is a pure hash of
+``(seed, sender, receiver, seq)``, so a plan is deterministic, independent
+of co-simulation interleaving, identical across serial and parallel
+executors, and usable as a cache identity (:meth:`FaultPlan.fingerprint`).
+With no plan installed the system takes none of these paths and its output
+is byte-identical to a build without fault injection (golden-tested).
+"""
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Optional
+
+#: Transfer-fault outcomes (returned by :meth:`FaultPlan.transfer_fault`).
+XFER_OK = 0
+XFER_DROP = 1
+XFER_CORRUPT = 2
+XFER_DELAY = 3
+
+
+def _unit(seed: int, *parts: object) -> float:
+    """Deterministic uniform [0, 1) from a seed and a counter tuple.
+
+    Hash-based (no RNG state), so every decision is independent of how
+    many decisions preceded it — the property that keeps fault placement
+    stable when simulation interleaving changes.
+    """
+    payload = "/".join(str(p) for p in (seed,) + parts).encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative description of the faults to inject.
+
+    All fields default to "no fault"; a default-constructed plan is a
+    no-op (useful for asserting the fault machinery itself is inert).
+    Rates are per transfer and must sum to at most 1.
+    """
+
+    seed: int = 0
+    #: per-transfer probability the payload is lost in flight
+    drop_rate: float = 0.0
+    #: per-transfer probability the payload is garbled (detected on use)
+    corrupt_rate: float = 0.0
+    #: per-transfer probability of an extra in-flight delay
+    delay_rate: float = 0.0
+    #: extra latency charged to delayed transfers
+    delay_ns: float = 0.0
+    #: core to kill (core_id), or None
+    kill_core: Optional[int] = None
+    #: retirement count at which the kill fires
+    kill_at_commit: int = 0
+    #: core to stall (core_id), or None
+    stall_core: Optional[int] = None
+    #: first stalled cycle (the stalled core's own clock)
+    stall_at_cycle: int = 0
+    #: length of the stall window in cycles
+    stall_cycles: int = 0
+    #: core to flip to standalone mid-run (core_id), or None
+    standalone_core: Optional[int] = None
+    #: retirement count at which the flip fires
+    standalone_at_commit: int = 0
+
+    def __post_init__(self):
+        for name in ("drop_rate", "corrupt_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.drop_rate + self.corrupt_rate + self.delay_rate > 1.0 + 1e-12:
+            raise ValueError("transfer fault rates must sum to <= 1")
+        if self.delay_ns < 0:
+            raise ValueError("delay_ns must be >= 0")
+        for name in (
+            "kill_at_commit", "stall_at_cycle", "stall_cycles",
+            "standalone_at_commit",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def perturbs_transfers(self) -> bool:
+        """Whether any per-transfer decision ever needs to be made."""
+        return bool(self.drop_rate or self.corrupt_rate or self.delay_rate)
+
+    def transfer_fault(self, sender: int, receiver: int, seq: int) -> int:
+        """The fate of one transfer: ``XFER_OK``/``DROP``/``CORRUPT``/``DELAY``.
+
+        Pure in its arguments and the plan — calling it twice, in any
+        order, in any process, returns the same answer.
+        """
+        u = _unit(self.seed, "xfer", sender, receiver, seq)
+        if u < self.drop_rate:
+            return XFER_DROP
+        u -= self.drop_rate
+        if u < self.corrupt_rate:
+            return XFER_CORRUPT
+        u -= self.corrupt_rate
+        if u < self.delay_rate:
+            return XFER_DELAY
+        return XFER_OK
+
+    def fingerprint(self) -> str:
+        """Stable identity for cache keys (field order is part of it)."""
+        return "faultplan/" + "/".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )

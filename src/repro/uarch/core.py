@@ -317,6 +317,18 @@ class Core:
     # the cycle
     # ------------------------------------------------------------------
 
+    def stall_cycle(self) -> None:
+        """Burn one clock cycle doing no work (fault-injected hang).
+
+        The clock and wall time advance as in :meth:`step`, but no
+        pipeline stage runs — in-flight state is frozen in place.
+        """
+        if self.halted:
+            raise RuntimeError("cannot stall a halted core")
+        self.cycle += 1
+        self.time_ps += self.period_ps
+        self.stats.cycles = self.cycle
+
     def step(self) -> None:
         """Advance exactly one clock cycle."""
         if self.halted:

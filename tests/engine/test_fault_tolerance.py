@@ -1,0 +1,247 @@
+"""Crash paths of the parallel executor: raise, SIGKILL, hang, torn writes.
+
+The duck jobs below are module-level frozen dataclasses so the process
+pool can pickle them; each misbehaves in exactly one way.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.regions import RegionLog
+from repro.engine import (
+    JobFailure,
+    ParallelExecutor,
+    ResultStore,
+    RetryPolicy,
+    SerialExecutor,
+    SimEngine,
+    StandaloneJob,
+    TraceSpec,
+    derive_chunk_size,
+)
+from repro.uarch.config import core_config
+
+SPEC = TraceSpec("gcc", 1000, seed=11)
+
+GOOD_JOBS = [
+    StandaloneJob(core_config("gcc"), SPEC),
+    StandaloneJob(core_config("vpr"), SPEC),
+    StandaloneJob(core_config("mcf"), SPEC),
+]
+
+
+@dataclass(frozen=True)
+class RaisingJob:
+    """Raises in the worker on every attempt."""
+
+    marker: str = "boom"
+    kind = "raising"
+
+    def cache_key(self):
+        return f"raising-{self.marker}"
+
+    def run(self):
+        raise ValueError(self.marker)
+
+
+@dataclass(frozen=True)
+class SuicideJob:
+    """SIGKILLs its worker process (an OOM kill's observable behaviour)."""
+
+    kind = "suicide"
+
+    def cache_key(self):
+        return "suicide"
+
+    def run(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True)
+class HangingJob:
+    """Never returns within any reasonable budget."""
+
+    kind = "hanging"
+
+    def cache_key(self):
+        return "hanging"
+
+    def run(self):
+        time.sleep(300)
+
+
+FAST_RETRY = RetryPolicy(max_attempts=2, backoff_s=0.01)
+
+
+class TestRaisingJob:
+    def test_failure_reported_others_succeed(self):
+        jobs = GOOD_JOBS[:2] + [RaisingJob()] + GOOD_JOBS[2:]
+        timed = ParallelExecutor(
+            workers=2, chunk_size=2, retry=FAST_RETRY
+        ).run(jobs)
+        results = [r for r, _ in timed]
+        failure = results[2]
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "ValueError"
+        assert "boom" in failure.message
+        serial = [r for r, _ in SerialExecutor().run(GOOD_JOBS)]
+        assert [results[0], results[1], results[3]] == serial
+
+    def test_traceback_carried(self):
+        (failure, _), = ParallelExecutor(
+            workers=2, retry=FAST_RETRY
+        ).run([RaisingJob(), RaisingJob("other")])[:1]
+        assert isinstance(failure, JobFailure)
+        assert "ValueError" in failure.traceback
+
+
+class TestKilledWorker:
+    def test_pool_survives_and_every_job_answers(self):
+        # The acceptance scenario: a worker is SIGKILLed mid-batch.  The
+        # batch must still return one entry per job — the poisoned job as
+        # a JobFailure, every other job bit-identical to a serial run.
+        jobs = [GOOD_JOBS[0], SuicideJob(), GOOD_JOBS[1], GOOD_JOBS[2]]
+        timed = ParallelExecutor(
+            workers=2, chunk_size=2, retry=FAST_RETRY
+        ).run(jobs)
+        assert len(timed) == len(jobs)
+        results = [r for r, _ in timed]
+        failure = results[1]
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "WorkerDied"
+        assert failure.attempts == FAST_RETRY.max_attempts
+        serial = [r for r, _ in SerialExecutor().run(GOOD_JOBS)]
+        assert [results[0], results[2], results[3]] == serial
+
+    def test_chunk_mates_of_the_killed_job_still_succeed(self):
+        # chunk_size=4 guarantees the killer shares a chunk with victims
+        jobs = [SuicideJob()] + GOOD_JOBS
+        results = [
+            r for r, _ in ParallelExecutor(
+                workers=2, chunk_size=4, retry=FAST_RETRY
+            ).run(jobs)
+        ]
+        assert isinstance(results[0], JobFailure)
+        assert [r for r in results[1:] if isinstance(r, JobFailure)] == []
+
+
+class TestHangingJob:
+    def test_watchdog_times_the_job_out(self):
+        policy = RetryPolicy(
+            max_attempts=1, backoff_s=0.01, job_timeout_s=0.5
+        )
+        started = time.monotonic()
+        timed = ParallelExecutor(
+            workers=2, chunk_size=1, retry=policy
+        ).run([HangingJob(), GOOD_JOBS[0]])
+        elapsed = time.monotonic() - started
+        failure = timed[0][0]
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "JobTimeout"
+        assert not isinstance(timed[1][0], JobFailure)
+        assert elapsed < 60  # the 300s sleep was interrupted
+
+
+class TestConcurrentStoreAppends:
+    def test_two_processes_no_torn_lines(self, tmp_path):
+        count = 150
+        procs = [
+            multiprocessing.Process(
+                target=_append_records, args=(str(tmp_path), wid, count)
+            )
+            for wid in (1, 2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        store = ResultStore(tmp_path)
+        assert store.corrupt_lines == 0
+        assert len(store) == 2 * count
+        sample = store.get("key-1-0", "region_log")
+        assert isinstance(sample, RegionLog)
+
+
+def _append_records(path: str, worker_id: int, count: int) -> None:
+    store = ResultStore(path)
+    for k in range(count):
+        log = RegionLog(
+            config_name=f"core-{worker_id}",
+            trace_name="trace",
+            region_size=20,
+            times_ps=list(range(worker_id * 1000, worker_id * 1000 + 60)),
+        )
+        store.put(f"key-{worker_id}-{k}", "region_log", log)
+
+
+class TestChunkDerivation:
+    def test_small_batches_not_fragmented(self):
+        # regression: 6 jobs on 4 workers used to chunk as ceil(6/16)=1
+        # (maximum IPC overhead); one chunk per worker is as parallel
+        assert derive_chunk_size(6, 4) == 2
+        assert derive_chunk_size(16, 4) == 4
+
+    def test_tiny_batches_stay_single(self):
+        assert derive_chunk_size(3, 4) == 1
+        assert derive_chunk_size(1, 8) == 1
+
+    def test_large_batches_load_balance(self):
+        assert derive_chunk_size(100, 4) == 7  # ~4 chunks per worker
+
+    def test_requested_wins(self):
+        assert derive_chunk_size(100, 4, requested=5) == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            derive_chunk_size(0, 4)
+        with pytest.raises(ValueError):
+            derive_chunk_size(4, 0)
+
+
+class _AlwaysFailingExecutor:
+    workers = 1
+
+    def __init__(self):
+        self.calls = 0
+
+    def run(self, jobs):
+        self.calls += 1
+        return [
+            (
+                JobFailure(
+                    job_kind="raising", error_type="ValueError", message="x"
+                ),
+                0.0,
+            )
+            for _ in jobs
+        ]
+
+
+class TestEngineFailureHandling:
+    def test_failures_surface_but_are_never_cached(self, tmp_path):
+        engine = SimEngine(
+            executor=_AlwaysFailingExecutor(), store=ResultStore(tmp_path)
+        )
+        job = RaisingJob()
+        first = engine.run(job)
+        assert isinstance(first, JobFailure)
+        assert engine.stats.failures == 1
+        # a re-run misses both cache layers and executes again
+        second = engine.run(job)
+        assert isinstance(second, JobFailure)
+        assert engine.executor.calls == 2
+        assert len(engine.store) == 0
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(job_timeout_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)

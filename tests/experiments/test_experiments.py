@@ -152,7 +152,7 @@ class TestRunner:
         }
         extensions = {
             "ext_queueing", "ext_nway", "ext_resync", "ext_energy",
-            "ext_robustness",
+            "ext_robustness", "ext_faults",
         }
         assert set(EXPERIMENTS) == paper | extensions
 

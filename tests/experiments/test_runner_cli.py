@@ -1,8 +1,10 @@
 """Tests of the CLI entry point (argument handling, tee output)."""
 
+import logging
+
 import pytest
 
-from repro.experiments.runner import EXPERIMENTS, main
+from repro.experiments.runner import EXPERIMENTS, SuiteFailure, main, run_all
 
 
 class TestCli:
@@ -31,3 +33,45 @@ class TestCli:
     def test_unknown_experiment_raises(self):
         with pytest.raises(ValueError):
             main(["--scale", "tiny", "fig99"])
+
+    def test_verbose_logs_timing(self, capsys, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.experiments"):
+            assert main(["--scale", "tiny", "--no-cache", "-v", "table1"]) == 0
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("table1" in m and "s" in m for m in messages)
+        assert any("[engine]" in m for m in messages)
+
+
+class TestKeepGoing:
+    @pytest.fixture
+    def broken_experiment(self, monkeypatch):
+        def explode(ctx):
+            raise RuntimeError("synthetic experiment failure")
+
+        monkeypatch.setitem(EXPERIMENTS, "table1", explode)
+
+    def test_first_failure_aborts_by_default(self, broken_experiment):
+        with pytest.raises(RuntimeError, match="synthetic"):
+            run_all(scale="tiny", names=["table1", "appendix_a"])
+
+    def test_keep_going_runs_the_rest_then_fails(
+        self, broken_experiment, capsys
+    ):
+        with pytest.raises(SuiteFailure) as excinfo:
+            run_all(
+                scale="tiny", names=["table1", "appendix_a"],
+                keep_going=True,
+            )
+        assert "table1" in excinfo.value.errors
+        assert "synthetic experiment failure" in excinfo.value.errors["table1"]
+        # the healthy experiment still rendered
+        assert "Appendix A" in capsys.readouterr().out
+
+    def test_keep_going_exit_code(self, broken_experiment, capsys):
+        assert main(
+            ["--scale", "tiny", "--no-cache", "--keep-going",
+             "table1", "appendix_a"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "Appendix A" in captured.out
+        assert "1 experiment(s) failed" in captured.err

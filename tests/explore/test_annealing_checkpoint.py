@@ -1,0 +1,105 @@
+"""Checkpoint/resume of the annealer: a killed run continues its chain."""
+
+import json
+
+import pytest
+
+from repro.explore.annealing import simulated_annealing
+
+
+def _objective(config):
+    return (
+        config.width * 2.0
+        + (config.rob_size ** 0.5) * 0.3
+        + 1.0 / config.clock_period_ns
+    )
+
+
+class _Crash(Exception):
+    pass
+
+
+def _crashing_after(n):
+    calls = {"n": 0}
+
+    def objective(config):
+        calls["n"] += 1
+        if calls["n"] > n:
+            raise _Crash()
+        return _objective(config)
+
+    return objective
+
+
+class TestCheckpointResume:
+    def test_resumed_chain_identical_to_uninterrupted(self, tmp_path):
+        ckpt = tmp_path / "anneal.json"
+        base = simulated_annealing(
+            _objective, steps=30, seed=5, memoise=False
+        )
+        with pytest.raises(_Crash):
+            simulated_annealing(
+                _crashing_after(14), steps=30, seed=5, memoise=False,
+                checkpoint_path=ckpt, checkpoint_every=4,
+            )
+        assert ckpt.exists()
+        resumed = simulated_annealing(
+            _objective, steps=30, seed=5, memoise=False,
+            checkpoint_path=ckpt, checkpoint_every=4, resume=True,
+        )
+        assert resumed.best_genome == base.best_genome
+        assert resumed.best_score == base.best_score
+        assert resumed.trajectory == base.trajectory
+        assert resumed.evaluations == base.evaluations
+
+    def test_checkpoint_removed_on_completion(self, tmp_path):
+        ckpt = tmp_path / "anneal.json"
+        simulated_annealing(
+            _objective, steps=10, seed=5, memoise=False,
+            checkpoint_path=ckpt, checkpoint_every=3,
+        )
+        assert not ckpt.exists()
+
+    def test_mismatched_identity_refused(self, tmp_path):
+        ckpt = tmp_path / "anneal.json"
+        with pytest.raises(_Crash):
+            simulated_annealing(
+                _crashing_after(10), steps=30, seed=5, memoise=False,
+                checkpoint_path=ckpt, checkpoint_every=2,
+            )
+        with pytest.raises(ValueError, match="different run"):
+            simulated_annealing(
+                _objective, steps=30, seed=6, memoise=False,
+                checkpoint_path=ckpt, resume=True,
+            )
+        with pytest.raises(ValueError, match="different run"):
+            simulated_annealing(
+                _objective, steps=40, seed=5, memoise=False,
+                checkpoint_path=ckpt, resume=True,
+            )
+
+    def test_unknown_version_refused(self, tmp_path):
+        ckpt = tmp_path / "anneal.json"
+        ckpt.write_text(json.dumps({"version": 99, "seed": 5, "steps": 10}))
+        with pytest.raises(ValueError, match="version"):
+            simulated_annealing(
+                _objective, steps=10, seed=5, memoise=False,
+                checkpoint_path=ckpt, resume=True,
+            )
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        ckpt = tmp_path / "missing.json"
+        base = simulated_annealing(
+            _objective, steps=15, seed=7, memoise=False
+        )
+        fresh = simulated_annealing(
+            _objective, steps=15, seed=7, memoise=False,
+            checkpoint_path=ckpt, resume=True,
+        )
+        assert fresh.best_genome == base.best_genome
+
+    def test_invalid_checkpoint_every(self):
+        with pytest.raises(ValueError):
+            simulated_annealing(
+                _objective, steps=10, seed=1, checkpoint_every=0
+            )

@@ -1,0 +1,51 @@
+"""The ext_faults experiment: graceful degradation, end to end."""
+
+from repro.experiments import ext_faults
+from repro.experiments.common import ExperimentContext
+from repro.experiments.runner import EXPERIMENTS
+
+#: relative slack on the monotone-degradation assertions: injection is a
+#: hint mechanism, so losing a hint can occasionally reroute a cache/branch
+#: interaction slightly in either direction
+TOLERANCE = 0.02
+
+
+def run_tiny():
+    ctx = ExperimentContext(scale="tiny", benchmarks=("gcc",))
+    return ext_faults.run(ctx)
+
+
+class TestGracefulDegradation:
+    def test_drop_sweep_monotone_down_to_standalone_floor(self):
+        result = run_tiny()
+        for bench, sweep in result.drop_ipt.items():
+            clean, worst = sweep[0], sweep[-1]
+            floor = result.standalone[bench]
+            assert worst <= clean * (1 + TOLERANCE), (
+                f"{bench}: dropping transfers should not speed the gang up"
+            )
+            for earlier, later in zip(sweep, sweep[1:]):
+                assert later <= earlier * (1 + TOLERANCE), (
+                    f"{bench}: IPT must degrade monotonically with drop "
+                    f"rate (got {sweep})"
+                )
+            assert worst >= floor * (1 - TOLERANCE), (
+                f"{bench}: degraded gang fell below the best standalone "
+                f"core ({worst:.3f} < {floor:.3f})"
+            )
+
+    def test_killed_leader_runs_complete(self):
+        result = run_tiny()
+        for bench, killed in result.kills.items():
+            assert len(killed) == len(result.kill_fractions)
+            for winner, ipt in killed:
+                assert winner != result.winners[bench]
+                assert ipt > 0
+
+    def test_registered_with_the_runner(self):
+        assert "ext_faults" in EXPERIMENTS
+
+    def test_render_mentions_both_tables(self):
+        text = run_tiny().render()
+        assert "GRB transfer drops" in text
+        assert "leader killed" in text.lower()

@@ -1,0 +1,104 @@
+"""FaultPlan semantics: determinism, validation, rate fidelity."""
+
+import pytest
+
+from repro.faults import (
+    XFER_CORRUPT,
+    XFER_DELAY,
+    XFER_DROP,
+    XFER_OK,
+    FaultPlan,
+)
+
+
+class TestDeterminism:
+    def test_same_counter_same_fate(self):
+        plan = FaultPlan(seed=7, drop_rate=0.3, corrupt_rate=0.2)
+        fates = [plan.transfer_fault(0, 1, seq) for seq in range(500)]
+        again = [plan.transfer_fault(0, 1, seq) for seq in range(500)]
+        assert fates == again
+
+    def test_decisions_independent_of_order(self):
+        plan = FaultPlan(seed=7, drop_rate=0.5)
+        forward = [plan.transfer_fault(0, 1, s) for s in range(100)]
+        backward = [
+            plan.transfer_fault(0, 1, s) for s in reversed(range(100))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_placement(self):
+        a = FaultPlan(seed=1, drop_rate=0.5)
+        b = FaultPlan(seed=2, drop_rate=0.5)
+        fates_a = [a.transfer_fault(0, 1, s) for s in range(200)]
+        fates_b = [b.transfer_fault(0, 1, s) for s in range(200)]
+        assert fates_a != fates_b
+
+    def test_hops_are_independent_streams(self):
+        plan = FaultPlan(seed=7, drop_rate=0.5)
+        ab = [plan.transfer_fault(0, 1, s) for s in range(200)]
+        ba = [plan.transfer_fault(1, 0, s) for s in range(200)]
+        assert ab != ba
+
+
+class TestRates:
+    def test_observed_rates_track_configured(self):
+        plan = FaultPlan(
+            seed=3, drop_rate=0.3, corrupt_rate=0.1, delay_rate=0.2
+        )
+        n = 4000
+        fates = [plan.transfer_fault(0, 1, s) for s in range(n)]
+        assert abs(fates.count(XFER_DROP) / n - 0.3) < 0.03
+        assert abs(fates.count(XFER_CORRUPT) / n - 0.1) < 0.03
+        assert abs(fates.count(XFER_DELAY) / n - 0.2) < 0.03
+        assert abs(fates.count(XFER_OK) / n - 0.4) < 0.03
+
+    def test_zero_rates_never_fault(self):
+        plan = FaultPlan(seed=3)
+        assert not plan.perturbs_transfers
+        assert all(
+            plan.transfer_fault(0, 1, s) == XFER_OK for s in range(100)
+        )
+
+    def test_full_drop_always_drops(self):
+        plan = FaultPlan(seed=3, drop_rate=1.0)
+        assert all(
+            plan.transfer_fault(0, 1, s) == XFER_DROP for s in range(100)
+        )
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=-0.1)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=0.6, corrupt_rate=0.6)
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(delay_ns=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(kill_at_commit=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(stall_cycles=-5)
+
+
+class TestFingerprint:
+    def test_every_field_participates(self):
+        base = FaultPlan()
+        assert base.fingerprint() != FaultPlan(seed=1).fingerprint()
+        assert base.fingerprint() != FaultPlan(drop_rate=0.1).fingerprint()
+        assert base.fingerprint() != FaultPlan(kill_core=0).fingerprint()
+        assert (
+            base.fingerprint()
+            != FaultPlan(stall_core=1, stall_cycles=10).fingerprint()
+        )
+
+    def test_equal_plans_equal_fingerprints(self):
+        a = FaultPlan(seed=5, drop_rate=0.25)
+        b = FaultPlan(seed=5, drop_rate=0.25)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()

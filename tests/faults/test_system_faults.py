@@ -1,0 +1,150 @@
+"""Fault injection through the contesting system, and the no-fault golden.
+
+``golden_contest.json`` was captured from the pre-fault-injection build:
+the encoded result of the reference contest below, byte for byte.  The
+golden test pins the acceptance criterion that installing *no* plan leaves
+``ContestingSystem.run`` output byte-identical to the pre-hook behaviour.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.system import ContestingSystem
+from repro.engine.jobs import ContestJob, TraceSpec, resolve_trace
+from repro.faults import FaultPlan
+from repro.uarch.config import core_config
+
+GOLDEN = Path(__file__).parent / "golden_contest.json"
+SPEC = TraceSpec("gcc", 4000, seed=11)
+#: cache key of the reference job as computed before the faults field
+#: existed — pre-PR persistent store entries must stay addressable
+PRE_FAULTS_KEY = (
+    "f83f8eea8e71e807dd9a6b7b98e312ce803497a60e42179e654448c49de1c76b"
+)
+
+
+def reference_job(faults=None) -> ContestJob:
+    return ContestJob(
+        configs=(core_config("gcc"), core_config("vpr")),
+        trace=SPEC,
+        grb_latency_ns=1.0,
+        faults=faults,
+    )
+
+
+def run_system(faults):
+    trace = resolve_trace(SPEC)
+    system = ContestingSystem(
+        [core_config("gcc"), core_config("vpr")], trace,
+        grb_latency_ns=1.0, faults=faults,
+    )
+    return system.run(), system
+
+
+class TestGolden:
+    def test_no_plan_output_byte_identical_to_pre_fault_build(self):
+        result = reference_job().run()
+        encoded = json.dumps(
+            dataclasses.asdict(result), indent=1, sort_keys=True
+        )
+        assert encoded == GOLDEN.read_text().rstrip("\n")
+
+    def test_no_plan_cache_key_unchanged(self):
+        assert reference_job().cache_key() == PRE_FAULTS_KEY
+
+    def test_fault_plan_changes_the_cache_key(self):
+        faulted = reference_job(FaultPlan(seed=3, drop_rate=0.25))
+        assert faulted.cache_key() != PRE_FAULTS_KEY
+        other = reference_job(FaultPlan(seed=4, drop_rate=0.25))
+        assert other.cache_key() != faulted.cache_key()
+
+    def test_default_plan_is_inert(self):
+        clean, _ = run_system(None)
+        noop, system = run_system(FaultPlan())
+        assert noop == clean
+        assert all(not v for v in system.fault_stats.values())
+
+
+class TestTransferFaults:
+    def test_drop_all_loses_every_injection_but_completes(self):
+        clean, _ = run_system(None)
+        result, system = run_system(FaultPlan(seed=3, drop_rate=1.0))
+        assert sum(s.injected for s in result.per_core.values()) == 0
+        assert result.instructions == clean.instructions
+        assert system.fault_stats["dropped"] > 0
+
+    def test_partial_drop_loses_some_hints(self):
+        clean, _ = run_system(None)
+        result, system = run_system(FaultPlan(seed=3, drop_rate=0.5))
+        injected = sum(s.injected for s in result.per_core.values())
+        clean_injected = sum(s.injected for s in clean.per_core.values())
+        assert 0 < injected < clean_injected
+        assert system.fault_stats["dropped"] > 0
+
+    def test_corruption_recovers_through_resync(self):
+        result, system = run_system(FaultPlan(seed=3, corrupt_rate=0.05))
+        assert system.fault_stats["corrupted"] > 0
+        if system.fault_stats["corrupt_consumed"]:
+            assert system.fault_stats["recoveries"] > 0
+            assert result.resyncs == system.fault_stats["recoveries"]
+
+    def test_delay_charges_latency(self):
+        result, system = run_system(
+            FaultPlan(seed=3, delay_rate=0.5, delay_ns=20.0)
+        )
+        assert system.fault_stats["delayed"] > 0
+        assert result.winner  # the run still completes
+
+
+class TestCoreFaults:
+    def test_killed_leader_run_completes_with_new_leader(self):
+        # the acceptance scenario: kill the clean run's winner mid-run;
+        # the survivor must finish the trace and win
+        clean, _ = run_system(None)
+        names = ["gcc", "vpr"]
+        winner_id = names.index(clean.winner)
+        result, system = run_system(
+            FaultPlan(kill_core=winner_id, kill_at_commit=1000)
+        )
+        assert system.fault_stats["killed"] == [clean.winner]
+        assert result.winner != clean.winner
+        assert result.instructions == clean.instructions
+        assert result.per_core[
+            f"{1 - winner_id}:{result.winner}"
+        ].committed == clean.instructions
+        assert clean.winner in result.saturated
+
+    def test_stall_window_burns_exactly_its_cycles(self):
+        result, system = run_system(
+            FaultPlan(stall_core=0, stall_at_cycle=500, stall_cycles=750)
+        )
+        assert system.fault_stats["stalled_cycles"] == 750
+        assert result.winner
+
+    def test_standalone_flip_stops_injections(self):
+        result, system = run_system(
+            FaultPlan(standalone_core=1, standalone_at_commit=200)
+        )
+        assert system.fault_stats["flipped"] == ["vpr"]
+        assert result.winner  # the run still completes
+
+    def test_faults_recorded_on_system_not_result(self):
+        # the ContestResult schema is frozen (golden test above); fault
+        # diagnostics live on the system object only
+        result, _ = run_system(FaultPlan(seed=3, drop_rate=0.5))
+        assert not hasattr(result, "fault_stats")
+
+
+class TestEngineIntegration:
+    def test_faulted_job_runs_through_the_engine(self):
+        from repro.engine import SimEngine
+
+        engine = SimEngine()
+        clean = engine.run(reference_job())
+        faulted = engine.run(reference_job(FaultPlan(seed=3, drop_rate=1.0)))
+        assert engine.stats.misses == 2  # distinct cache identities
+        assert sum(s.injected for s in faulted.per_core.values()) == 0
+        assert sum(s.injected for s in clean.per_core.values()) > 0
