@@ -1,7 +1,9 @@
 """Raw simulator throughput (cycles/second), for performance regressions,
-plus engine-level speedups: cold-vs-warm persistent cache and 1-vs-N-worker
-execution of one job batch."""
+plus engine-level speedups: cold-vs-warm persistent cache, 1-vs-N-worker
+execution of one job batch, and the event-driven skip-ahead fast path
+against reference cycle stepping."""
 
+import dataclasses
 import os
 import time
 
@@ -15,6 +17,7 @@ from repro.engine import (
     TraceSpec,
 )
 from repro.isa.generator import generate_trace
+from repro.isa.phases import PhaseMix, pointer_chase_phase
 from repro.isa.workloads import workload_profile
 from repro.uarch.config import core_config
 from repro.uarch.run import run_standalone
@@ -37,6 +40,75 @@ def test_contest_throughput(benchmark, capsys):
     with capsys.disabled():
         print(f"\ncontest: finished at {result.time_ps} ps, "
               f"{result.lead_changes} lead changes")
+
+
+def _stall_heavy_trace():
+    """Serially dependent loads over a footprint no cache holds: the core
+    spends most cycles waiting on memory, which is exactly the regime the
+    event-driven skipper collapses."""
+    phase = pointer_chase_phase(
+        "chase", footprint=32 * 1024 * 1024, obj_words=2, zipf_skew=1.02,
+        load_frac=0.55, chain_frac=0.85, dep1_frac=0.9,
+        branch_frac=0.02, store_frac=0.02, mean_dwell=10**9,
+    )
+    return generate_trace(PhaseMix("chase", [(phase, 1.0)]), 12_000, seed=3)
+
+
+def _best_of(n, fn, *args, **kwargs):
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def _skip_ahead_speedup(benchmark, config, trace):
+    """Time both run modes (best of three — single runs of a few tens of
+    milliseconds are noise-dominated), assert bit-identical results, and
+    record simulated-instructions/second for both in the benchmark JSON."""
+    reference, ref_s = _best_of(
+        3, run_standalone, config, trace, skip_ahead=False
+    )
+
+    benchmark.pedantic(
+        run_standalone, args=(config, trace), rounds=3, iterations=1
+    )
+    fast_s = benchmark.stats.stats.min
+    fast = run_standalone(config, trace)
+    assert dataclasses.asdict(fast) == dataclasses.asdict(reference)
+
+    speedup = ref_s / max(fast_s, 1e-9)
+    benchmark.extra_info["instructions"] = fast.instructions
+    benchmark.extra_info["instrs_per_sec"] = fast.instructions / fast_s
+    benchmark.extra_info["instrs_per_sec_reference"] = (
+        reference.instructions / ref_s
+    )
+    benchmark.extra_info["skip_ahead_speedup"] = speedup
+    return fast, speedup
+
+
+def test_skip_ahead_stall_heavy(benchmark, capsys):
+    """Acceptance: >=2x simulated-instructions/sec where stalls dominate."""
+    trace = _stall_heavy_trace()
+    result, speedup = _skip_ahead_speedup(benchmark, core_config("crafty"), trace)
+    with capsys.disabled():
+        print(f"\nskip-ahead (stall-heavy): {speedup:.2f}x, "
+              f"{result.cycles} cycles for {result.instructions} instrs")
+    assert speedup >= 2.0
+
+
+def test_skip_ahead_compute_bound(benchmark, capsys):
+    """A compute-bound core rarely idles, so there is little to skip; the
+    fast path must still not cost anything material (threshold leaves
+    headroom for timer noise on shared CI runners)."""
+    trace = generate_trace(workload_profile("gcc"), 20_000, seed=11)
+    result, speedup = _skip_ahead_speedup(benchmark, core_config("gcc"), trace)
+    with capsys.disabled():
+        print(f"\nskip-ahead (compute-bound): {speedup:.2f}x, "
+              f"{result.cycles} cycles for {result.instructions} instrs")
+    assert speedup >= 0.8
 
 
 def _engine_jobs():

@@ -1,0 +1,23 @@
+"""Repo-wide pytest configuration.
+
+Lives at the repository root so it applies to *every* collected suite —
+``tests/`` and ``benchmarks/`` alike.  The cache isolation below used to
+sit in ``tests/conftest.py`` only, which let benchmark runs read and
+pollute the user's real ``~/.cache/repro`` (and leak state between runs
+on CI); hoisting it here gives both suites the same hermetic store.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store(tmp_path_factory):
+    """Point the engine's persistent store at a throwaway directory.
+
+    The store resolves ``REPRO_CACHE_DIR`` lazily (at
+    ``default_cache_dir()`` call time), so setting it here — before any
+    test or benchmark constructs a store — isolates every suite.
+    """
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))

@@ -28,6 +28,12 @@ class SyncStoreQueue:
         self.capacity = capacity
         self._performed: Dict[int, int] = {cid: 0 for cid in core_ids}
         self._active: Dict[int, bool] = {cid: True for cid in core_ids}
+        #: cached min over active cores' performed counts.  ``can_commit``
+        #: runs once per store commit attempt — including every retried
+        #: attempt of a backpressured leader — so the laggard position is
+        #: kept incrementally instead of being recomputed per call (it can
+        #: only move when a count or the active set changes).
+        self._min_performed = 0
         #: number of merged store instances performed to the shared level
         self.merged = 0
         #: number of commit attempts rejected because the queue was full
@@ -53,8 +59,7 @@ class SyncStoreQueue:
         the queue.  The least-advanced core can always commit."""
         if not self._active.get(core_id, False):
             return True  # non-participants bypass the queue entirely
-        counts = self._active_counts()
-        allowed = self._performed[core_id] - min(counts) < self.capacity
+        allowed = self._performed[core_id] - self._min_performed < self.capacity
         if not allowed:
             self.stalls += 1
         return allowed
@@ -64,11 +69,16 @@ class SyncStoreQueue:
         to the shared level once all active cores have performed it."""
         if not self._active.get(core_id, False):
             return
-        before = min(self._active_counts())
-        self._performed[core_id] += 1
-        after = min(self._active_counts())
-        if after > before:
-            self.merged += after - before
+        before = self._min_performed
+        was = self._performed[core_id]
+        self._performed[core_id] = was + 1
+        if was == before:
+            # the advancing core sat at the laggard position; the min may
+            # have moved (it did iff no other active core shares it)
+            after = min(self._active_counts())
+            self._min_performed = after
+            if after > before:
+                self.merged += after - before
 
     def deactivate(self, core_id: int) -> None:
         """Remove a core (saturated lagger / halted) from participation.
@@ -77,13 +87,15 @@ class SyncStoreQueue:
         """
         if not self._active.get(core_id, False):
             return
-        before = min(self._active_counts())
+        before = self._min_performed
         self._active[core_id] = False
-        counts = self._active_counts()
-        if counts:
-            after = min(counts)
-            if after > before:
-                self.merged += after - before
+        if self._performed[core_id] == before:
+            counts = self._active_counts()
+            if counts:
+                after = min(counts)
+                self._min_performed = after
+                if after > before:
+                    self.merged += after - before
 
     def is_active(self, core_id: int) -> bool:
         """Whether the core still participates in store merging."""
@@ -97,8 +109,11 @@ class SyncStoreQueue:
             raise ValueError("store progress cannot move backwards")
         if not self._active.get(core_id, False):
             return
-        before = min(self._active_counts())
+        before = self._min_performed
+        was = self._performed[core_id]
         self._performed[core_id] = count
-        after = min(self._active_counts())
-        if after > before:
-            self.merged += after - before
+        if was == before:
+            after = min(self._active_counts())
+            self._min_performed = after
+            if after > before:
+                self.merged += after - before

@@ -41,7 +41,7 @@ from repro.isa.instructions import OpClass
 from repro.isa.trace import Trace
 from repro.core.storequeue import SyncStoreQueue
 from repro.uarch.config import CoreConfig
-from repro.uarch.core import Core, RunStats
+from repro.uarch.core import NO_EVENT, Core, RunStats
 from repro.util.units import ns_to_ps
 
 _OP_BRANCH = int(OpClass.BRANCH)
@@ -143,6 +143,16 @@ class ContestingSystem:
         of the fault paths, keeping the run byte-identical to a build
         without fault injection; diagnostics accumulate in
         ``self.fault_stats`` when a plan is installed.
+    skip_ahead:
+        Event-driven fast path (default): when no active core can do any
+        work at its current clock edge, jump every core straight to the
+        first edge at or past the earliest *work* time in the whole
+        system (:meth:`_next_work_ps`) instead of round-robin stepping
+        through idle edges.  Edges landing exactly on the horizon still
+        execute for real, so the driver's tie-break order — and hence
+        every cross-core interaction — is preserved exactly; results are
+        byte-identical to cycle stepping (pinned by
+        ``tests/differential``).
     """
 
     def __init__(
@@ -160,6 +170,7 @@ class ContestingSystem:
         shared_l3=None,
         shared_l3_latency_ns: float = 4.0,
         faults=None,
+        skip_ahead: bool = True,
     ):
         if len(configs) < 2:
             raise ValueError("contesting requires at least two cores")
@@ -228,16 +239,20 @@ class ContestingSystem:
         )
 
         self._instrs = trace.instructions
+        decoded = trace.decoded()
+        self._ops = decoded.ops
+        self.skip_ahead = skip_ahead
         # prefix store counts (stores in trace[:k]) for re-fork accounting,
         # and the ordered store addresses for merged-store write-through to
         # the shared level
         self._store_prefix = [0] * (len(trace) + 1)
         self._store_addr_list: List[int] = []
         acc = 0
-        for k, instr in enumerate(trace.instructions):
-            if instr.op == 4:  # OP_STORE
+        addrs = decoded.addrs
+        for k, op in enumerate(decoded.ops):
+            if op == 4:  # OP_STORE
                 acc += 1
-                self._store_addr_list.append(instr.addr)
+                self._store_addr_list.append(addrs[k])
             self._store_prefix[k + 1] = acc
         self._merged_written = 0
         self._leader: Core = self.cores[0]
@@ -521,6 +536,105 @@ class ContestingSystem:
         self.fault_stats["recoveries"] += 1
 
     # ------------------------------------------------------------------
+    # event-driven skip-ahead
+    # ------------------------------------------------------------------
+
+    def _core_has_work_now(self, core: Core, faults) -> bool:
+        """Whether stepping ``core`` at its current clock edge could change
+        any state (so the edge must be executed for real, not skipped).
+
+        Mirrors everything a scheduled iteration of :meth:`run` can do at
+        this edge: a core-level fault preemption, any pipeline stage doing
+        work (:meth:`repro.uarch.core.Core.next_event_cycle`), and — for a
+        receiving core — the ``drain`` side of contesting: a matured late
+        arrival to pop, a lagging-distance state transition, or an expired
+        saturation grace period.  Matured arrivals the core is *trailing*
+        on (``next_seq >= fetch_index``) need no entry: only fetch consumes
+        them, and a core that can fetch is already busy by the pipeline
+        check.
+        """
+        if faults is not None and faults.next_core_fault_cycle(
+            core.core_id, core.cycle, core.commit_count,
+            self._fault_killed, self._fault_flipped,
+        ) == core.cycle:
+            return True
+        if core.next_event_cycle() <= core.cycle:
+            return True
+        if core.contesting_enabled:
+            now = core.time_ps
+            fetch_index = core.fetch_index
+            worst = 0
+            for fifo in self.fifos[core.core_id]:
+                arrivals = fifo.arrivals
+                if arrivals:
+                    if fifo.next_seq < fetch_index and arrivals[0] <= now:
+                        return True
+                    if len(arrivals) > worst:
+                        worst = len(arrivals)
+            over_since = self._over_since[core.core_id]
+            if (worst > self.max_lag) != (over_since is not None):
+                return True  # drain would flip the lagging-distance state
+            if over_since is not None and now - over_since > self._grace_ps:
+                return True  # saturation fires at this edge
+        return False
+
+    def _skip_idle_gap(self, active: List[Core], faults) -> bool:
+        """Jump every active core to its first clock edge at or past the
+        earliest future work time anywhere in the system.
+
+        Only called when no active core has work at its current edge, i.e.
+        every cycle strictly before the horizon is a provable no-op on
+        every core (occupancies, fetch counters and commit counts are all
+        frozen while nothing steps).  Edges landing exactly on the horizon
+        are *not* executed here — the driver's normal min-time scan runs
+        them for real, preserving its tie-break order and hence every
+        cross-core interaction.  Returns False when no future event exists
+        anywhere (deadlock): the caller falls back to cycle stepping, which
+        reproduces the reference loop's step-budget diagnostics exactly.
+        """
+        horizon: Optional[int] = None
+        for core in active:
+            period = core.period_ps
+            now = core.time_ps
+            cycle = core.cycle
+            nxt = core.next_event_cycle()
+            if nxt != NO_EVENT:
+                t = now + (nxt - cycle) * period
+                if horizon is None or t < horizon:
+                    horizon = t
+            if faults is not None:
+                fault_cycle = faults.next_core_fault_cycle(
+                    core.core_id, cycle, core.commit_count,
+                    self._fault_killed, self._fault_flipped,
+                )
+                if fault_cycle is not None:
+                    t = now + (fault_cycle - cycle) * period
+                    if horizon is None or t < horizon:
+                        horizon = t
+            if core.contesting_enabled:
+                fetch_index = core.fetch_index
+                for fifo in self.fifos[core.core_id]:
+                    if fifo.arrivals and fifo.next_seq < fetch_index:
+                        t = fifo.arrivals[0]
+                        if horizon is None or t < horizon:
+                            horizon = t
+                over_since = self._over_since[core.core_id]
+                if over_since is not None:
+                    # saturation fires at the first edge where
+                    # now - over_since > grace; times are integer ps
+                    t = over_since + self._grace_ps + 1
+                    if horizon is None or t < horizon:
+                        horizon = t
+        if horizon is None:
+            return False
+        for core in active:
+            gap = horizon - core.time_ps
+            if gap > 0:
+                period = core.period_ps
+                core.skip_to(core.cycle + (gap + period - 1) // period)
+        return True
+
+    # ------------------------------------------------------------------
 
     def run(self, max_steps: int = 0) -> ContestResult:
         """Co-simulate until the first core retires the last instruction."""
@@ -531,10 +645,37 @@ class ContestingSystem:
             + 1_000_000
         )
         faults = self.faults
+        skip_ahead = self.skip_ahead
         steps = 0
         active = self._active
         winner: Optional[Core] = None
+        # Idle-gap probing is pure optimisation — probing less often only
+        # skips less, never changes results — so back off exponentially
+        # while the system keeps refusing to go idle: a compute-bound
+        # contest pays one probe per ~32 steps instead of one per step,
+        # and a stall is still caught within one backoff window of the
+        # last work edge.
+        probe_in = 0
+        probe_backoff = 1
         while winner is None:
+            if skip_ahead:
+                if probe_in > 0:
+                    probe_in -= 1
+                elif any(self._core_has_work_now(c, faults) for c in active):
+                    probe_in = probe_backoff
+                    if probe_backoff < 128:
+                        probe_backoff *= 2
+                elif self._skip_idle_gap(active, faults):
+                    # The whole system jumped to the next event; at least
+                    # one core landed on a work edge, so a real step
+                    # follows immediately.
+                    probe_backoff = 1
+                    continue
+                else:
+                    # Dead system: no future event anywhere.  Stop probing
+                    # and cycle-step into the step-budget diagnostics,
+                    # exactly as the reference loop would.
+                    skip_ahead = False
             # Step the core whose current clock edge is earliest.
             core = active[0]
             t = core.time_ps

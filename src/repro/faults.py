@@ -121,6 +121,43 @@ class FaultPlan:
             return XFER_DELAY
         return XFER_OK
 
+    def next_core_fault_cycle(
+        self,
+        core_id: int,
+        cycle: int,
+        commit_count: int,
+        killed: bool,
+        flipped: bool,
+    ) -> Optional[int]:
+        """Earliest own-clock cycle >= ``cycle`` at which this plan could
+        act on ``core_id``, or None.
+
+        Used by the skip-ahead scheduler so event-driven runs take the
+        kill/flip/stall paths at exactly the cycles the cycle-stepped
+        co-simulation would: a pending commit-threshold fault (already
+        crossed, not yet fired) pins the core to its very next cycle, and a
+        stall window pins it to the window's first cycle.  Transfer faults
+        need no entry here — they perturb arrival timestamps at broadcast
+        time, which the FIFO-arrival events already cover.
+        """
+        if (
+            self.kill_core == core_id
+            and not killed
+            and commit_count >= self.kill_at_commit
+        ):
+            return cycle
+        if (
+            self.standalone_core == core_id
+            and not flipped
+            and commit_count >= self.standalone_at_commit
+        ):
+            return cycle
+        if self.stall_core == core_id and self.stall_cycles > 0:
+            end = self.stall_at_cycle + self.stall_cycles
+            if cycle < end:
+                return max(cycle, self.stall_at_cycle)
+        return None
+
     def fingerprint(self) -> str:
         """Stable identity for cache keys (field order is part of it)."""
         return "faultplan/" + "/".join(

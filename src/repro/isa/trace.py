@@ -8,6 +8,29 @@ from typing import Dict, Iterator, List, Optional, Sequence
 from repro.isa.instructions import Instr, OpClass
 
 
+class DecodedTrace:
+    """Column-major view of a trace for the simulator hot loop.
+
+    The cycle-stepped core touches one or two instruction fields per stage;
+    reading them through :class:`Instr` objects costs an attribute lookup
+    (descriptor dispatch through ``__slots__``) per field per access.  This
+    view decodes every timing-relevant field once into parallel plain lists,
+    so the hot loop pays a single list index instead.  Built lazily by
+    :meth:`Trace.decoded` and cached on the trace (traces are immutable by
+    convention), so N cores contesting one trace share one decode.
+    """
+
+    __slots__ = ("ops", "pcs", "deps1", "deps2", "addrs", "takens")
+
+    def __init__(self, instructions: Sequence[Instr]):
+        self.ops: List[int] = [i.op for i in instructions]
+        self.pcs: List[int] = [i.pc for i in instructions]
+        self.deps1: List[int] = [i.dep1 for i in instructions]
+        self.deps2: List[int] = [i.dep2 for i in instructions]
+        self.addrs: List[int] = [i.addr for i in instructions]
+        self.takens: List[bool] = [i.taken for i in instructions]
+
+
 class Trace:
     """An ordered sequence of dynamic instructions plus provenance metadata.
 
@@ -30,6 +53,7 @@ class Trace:
         #: indices at which a new fine-grain phase begins (diagnostics only)
         self.phase_starts: List[int] = list(phase_starts)
         self._fingerprint: Optional[str] = None
+        self._decoded: Optional[DecodedTrace] = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -73,6 +97,25 @@ class Trace:
     def branch_count(self) -> int:
         """Number of dynamic conditional branches."""
         return sum(1 for i in self.instructions if i.op == OpClass.BRANCH)
+
+    def decoded(self) -> DecodedTrace:
+        """The cached column-major :class:`DecodedTrace` of this trace."""
+        if self._decoded is None:
+            self._decoded = DecodedTrace(self.instructions)
+        return self._decoded
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The decoded view is a pure cache and several times the size of
+        # the instructions themselves; drop it so pickled traces (parallel
+        # executor job payloads, cached results) stay lean.  Receivers
+        # rebuild it lazily on first decoded() call.
+        state = self.__dict__.copy()
+        state["_decoded"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._decoded = None
 
     def fingerprint(self) -> str:
         """Stable content hash of the trace (hex digest).

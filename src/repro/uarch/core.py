@@ -54,6 +54,11 @@ _EXEC_LAT = (1, 3, 12, 0, 1, 1, 1, 1)
 #: Cycles charged by the (parallelised) exception handler at a syscall.
 SYSCALL_PENALTY = 200
 
+#: Sentinel returned by :meth:`Core.next_event_cycle` when no future event
+#: is scheduled (the core is done, or deadlocked).  Far beyond any reachable
+#: cycle count, so ``min()`` arithmetic needs no special-casing.
+NO_EVENT = 1 << 62
+
 
 class _Rec:
     """In-flight instruction state (one per dispatched trace instruction)."""
@@ -162,7 +167,27 @@ class Core:
         self.predictor = make_predictor(config.predictor, config.predictor_entries)
 
         self._instrs = trace.instructions
+        # Column-major decode, shared across all cores running this trace:
+        # the hot loop indexes plain lists instead of Instr attributes.
+        decoded = trace.decoded()
+        self._ops = decoded.ops
+        self._pcs = decoded.pcs
+        self._deps1 = decoded.deps1
+        self._deps2 = decoded.deps2
+        self._addrs = decoded.addrs
+        self._takens = decoded.takens
         self._n = len(self._instrs)
+        # Hoisted config scalars (CoreConfig is frozen; reading through the
+        # dataclass every cycle costs a dict lookup per field per stage).
+        self._width = config.width
+        self._rob_cap = config.rob_size
+        self._fq_cap = config.fetch_queue_size
+        self._fe_depth = config.frontend_depth
+        self._sched = config.sched_depth
+        self._awaken = config.awaken_latency
+        self._l1_latency = config.l1.latency
+        self._perfect_caches = config.perfect_caches
+        self._perfect_predictor = config.perfect_predictor
         self.fetch_index = 0
         self.commit_count = 0
 
@@ -201,14 +226,14 @@ class Core:
         """
         hierarchy = self.hierarchy
         predictor = self.predictor
-        for instr in self._instrs:
-            op = instr.op
+        addrs = self._addrs
+        for seq, op in enumerate(self._ops):
             if op == OP_LOAD:
-                hierarchy.access(instr.addr)
+                hierarchy.access(addrs[seq])
             elif op == OP_STORE:
-                hierarchy.write(instr.addr)
+                hierarchy.write(addrs[seq])
             elif op == OP_BRANCH:
-                predictor.update(instr.pc, instr.taken)
+                predictor.update(self._pcs[seq], self._takens[seq])
         hierarchy.reset_stats()
 
     # ------------------------------------------------------------------
@@ -329,8 +354,95 @@ class Core:
         self.time_ps += self.period_ps
         self.stats.cycles = self.cycle
 
+    def skip_to(self, cycle: int) -> None:
+        """Jump the clock to ``cycle`` without running any pipeline stage.
+
+        Only valid when every cycle in ``[self.cycle, cycle)`` is provably a
+        no-op, i.e. ``cycle <= next_event_cycle()`` (and, under contesting,
+        no GRB arrival, saturation timer, or fault window falls inside the
+        window — :class:`repro.core.system.ContestingSystem` checks those).
+        Replicates the one per-cycle side effect a no-op ``step()`` has
+        besides the clock itself: the fetch-stall counter.
+        """
+        delta = cycle - self.cycle
+        if delta <= 0:
+            return
+        if self._fetch_stalled or self._syscall_stall:
+            self.stats.fetch_stall_cycles += delta
+        self.cycle = cycle
+        self.time_ps += delta * self.period_ps
+        self.stats.cycles = cycle
+
+    def next_event_cycle(self) -> int:
+        """Earliest cycle >= ``self.cycle`` at which ``step()`` could change
+        any state (conservatively; returning the current cycle is always
+        sound, it just skips nothing).
+
+        An event is anything that lets a stage do work: the ROB head
+        becoming committable (or being committable now, including commit
+        *attempts* that contesting may reject — those count stalls), a
+        completion-heap or wakeup-heap entry maturing, the syscall commit
+        stall expiring, a fetch-queue entry reaching dispatch with window
+        resources free, or fetch itself being unblocked.  Resource-blocked
+        dispatch needs no event of its own: ROB/IQ/LSQ entries free only at
+        commit/issue/complete, which are already events.  GRB arrivals and
+        fault windows are external to the core and are folded in by
+        :class:`repro.core.system.ContestingSystem`.  Returns ``NO_EVENT``
+        when nothing is scheduled (done or deadlocked).
+        """
+        c = self.cycle
+        fetch_q = self._fetch_q
+        if (
+            not self._fetch_stalled
+            and not self._syscall_stall
+            and self.fetch_index < self._n
+            and len(fetch_q) < self._fq_cap
+        ):
+            return c  # fetch can run: the most common busy reason
+        stall_until = self._commit_stall_until
+        rob = self._rob
+        head = self._rob_head
+        if head < len(rob):
+            rec = rob[head]
+            if rec.completed and rec.resolved and stall_until <= c:
+                return c
+        nxt = stall_until if stall_until > c else NO_EVENT
+        heap = self._complete_heap
+        if heap:
+            t = heap[0][0]
+            if t <= c:
+                return c
+            if t < nxt:
+                nxt = t
+        heap = self._ready_heap
+        if heap:
+            t = heap[0][0]
+            if t <= c:
+                return c
+            if t < nxt:
+                nxt = t
+        if fetch_q:
+            t, rec = fetch_q[0]
+            if t <= c:
+                if (
+                    len(rob) - head < self._rob_cap
+                    and (not rec.is_mem or self._lsq_free)
+                    and (self._iq_free or rec.injected or rec.op == OP_NOP)
+                ):
+                    return c
+            elif t < nxt:
+                nxt = t
+        return nxt
+
     def step(self) -> None:
-        """Advance exactly one clock cycle."""
+        """Advance exactly one clock cycle.
+
+        Each stage call is guarded by its own loop's entry condition, so a
+        stage with nothing to do costs a comparison instead of a function
+        call — the guards replicate the first iteration test of the stage's
+        ``while`` loop exactly, never its body, keeping the cycle-by-cycle
+        behaviour bit-identical to unconditionally calling every stage.
+        """
         if self.halted:
             raise RuntimeError("cannot step a halted core")
         cycle = self.cycle
@@ -338,10 +450,17 @@ class Core:
         if contest is not None:
             contest.drain(self, self.time_ps)
 
-        self._commit(cycle, contest)
-        self._complete(cycle)
-        self._issue(cycle)
-        self._dispatch(cycle)
+        if self._rob_head < len(self._rob) and self._commit_stall_until <= cycle:
+            self._commit(cycle, contest)
+        heap = self._complete_heap
+        if heap and heap[0][0] <= cycle:
+            self._complete(cycle)
+        heap = self._ready_heap
+        if heap and heap[0][0] <= cycle:
+            self._issue(cycle)
+        fetch_q = self._fetch_q
+        if fetch_q and fetch_q[0][0] <= cycle:
+            self._dispatch(cycle)
         self._fetch(cycle, contest)
 
         self.cycle = cycle + 1
@@ -353,7 +472,7 @@ class Core:
     def _commit(self, cycle: int, contest) -> None:
         if self._commit_stall_until > cycle:
             return
-        budget = self.config.width
+        budget = self._width
         rob = self._rob
         head = self._rob_head
         while budget and head < len(rob):
@@ -364,7 +483,7 @@ class Core:
             if op == OP_STORE:
                 if contest is not None and not contest.store_commit_ok(self, rec.seq):
                     break
-                addr = self._instrs[rec.seq].addr
+                addr = self._addrs[rec.seq]
                 self.hierarchy.write(addr)
                 if self._forwarding:
                     word = addr & ~7
@@ -411,7 +530,7 @@ class Core:
 
     def _complete(self, cycle: int) -> None:
         heap = self._complete_heap
-        awaken = self.config.awaken_latency
+        awaken = self._awaken
         while heap and heap[0][0] <= cycle:
             _, _, rec = heapq.heappop(heap)
             if rec.completed:
@@ -436,8 +555,8 @@ class Core:
 
     def _issue(self, cycle: int) -> None:
         heap = self._ready_heap
-        budget = self.config.width
-        sched = self.config.sched_depth
+        budget = self._width
+        sched = self._sched
         while budget and heap and heap[0][0] <= cycle:
             _, _, rec = heapq.heappop(heap)
             if rec.issued:
@@ -446,7 +565,7 @@ class Core:
             self._iq_free += 1
             op = rec.op
             if op == OP_LOAD:
-                addr = self._instrs[rec.seq].addr
+                addr = self._addrs[rec.seq]
                 if self._forwarding and (addr & ~7) in self._store_words:
                     # store-to-load forwarding from the LSQ
                     rec.complete_cycle = cycle + sched + 1
@@ -455,11 +574,11 @@ class Core:
                     )
                     budget -= 1
                     continue
-                if self.config.perfect_caches:
-                    raw = self.config.l1.latency
+                if self._perfect_caches:
+                    raw = self._l1_latency
                 else:
                     raw = self.hierarchy.access(addr)
-                if raw > self.config.l1.latency:
+                if raw > self._l1_latency:
                     # L1 miss: an MSHR bounds concurrent outstanding misses.
                     mshr = self._mshr_heap
                     while mshr and mshr[0] <= cycle:
@@ -482,11 +601,14 @@ class Core:
     # --- dispatch ---------------------------------------------------------
 
     def _dispatch(self, cycle: int) -> None:
-        budget = self.config.width
+        budget = self._width
         fetch_q = self._fetch_q
-        rob_cap = self.config.rob_size
+        rob = self._rob
+        rob_cap = self._rob_cap
+        inflight = self._inflight
+        awaken = self._awaken
         while budget and fetch_q and fetch_q[0][0] <= cycle:
-            if self.rob_occupancy >= rob_cap:
+            if len(rob) - self._rob_head >= rob_cap:
                 break
             _, rec = fetch_q[0]
             if rec.is_mem and self._lsq_free == 0:
@@ -495,12 +617,13 @@ class Core:
             if needs_iq and self._iq_free == 0:
                 break
             fetch_q.popleft()
-            self._rob.append(rec)
-            self._inflight[rec.seq] = rec
+            rob.append(rec)
+            seq = rec.seq
+            inflight[seq] = rec
             if rec.is_mem:
                 self._lsq_free -= 1
                 if self._forwarding and rec.op == OP_STORE:
-                    word = self._instrs[rec.seq].addr & ~7
+                    word = self._addrs[seq] & ~7
                     self._store_words[word] = self._store_words.get(word, 0) + 1
 
             if rec.injected or rec.op == OP_NOP:
@@ -513,13 +636,11 @@ class Core:
                 continue
 
             self._iq_free -= 1
-            instr = self._instrs[rec.seq]
             ready_cycle = cycle + 1
-            awaken = self.config.awaken_latency
-            for dep in (instr.dep1, instr.dep2):
+            for dep in (self._deps1[seq], self._deps2[seq]):
                 if dep < 0:
                     continue
-                producer = self._inflight.get(dep)
+                producer = inflight.get(dep)
                 if producer is None:
                     continue  # already retired; value in the register file
                 if producer.completed:
@@ -530,7 +651,7 @@ class Core:
                     rec.pending += 1
                     producer.waiters.append(rec)
             if rec.pending == 0:
-                heapq.heappush(self._ready_heap, (ready_cycle, rec.seq, rec))
+                heapq.heappush(self._ready_heap, (ready_cycle, seq, rec))
             budget -= 1
 
     # --- fetch -------------------------------------------------------------
@@ -539,15 +660,15 @@ class Core:
         if self._fetch_stalled or self._syscall_stall:
             self.stats.fetch_stall_cycles += 1
             return
-        budget = self.config.width
-        fq_cap = self.config.fetch_queue_size
+        budget = self._width
+        fq_cap = self._fq_cap
         fetch_q = self._fetch_q
-        instrs = self._instrs
-        ready_cycle = cycle + self.config.frontend_depth
+        ops = self._ops
+        takens = self._takens
+        ready_cycle = cycle + self._fe_depth
         while budget and self.fetch_index < self._n and len(fetch_q) < fq_cap:
             seq = self.fetch_index
-            instr = instrs[seq]
-            op = instr.op
+            op = ops[seq]
 
             injected = False
             if (
@@ -565,20 +686,23 @@ class Core:
             )
             rec.injected = injected
 
+            taken = False
             if op == OP_BRANCH:
+                taken = takens[seq]
                 self.stats.branches += 1
                 rec.resolved = injected
                 # Predict, then train immediately: the trace is correct-path
                 # only, so the speculative global history a real front end
                 # maintains (with repair on misprediction) is exactly the
                 # committed outcome history — training at fetch models it.
-                if self.config.perfect_predictor:
-                    prediction = instr.taken
+                if self._perfect_predictor:
+                    prediction = taken
                 else:
-                    prediction = self.predictor.predict(instr.pc)
-                    self.predictor.update(instr.pc, instr.taken)
+                    pc = self._pcs[seq]
+                    prediction = self.predictor.predict(pc)
+                    self.predictor.update(pc, taken)
                 if not injected:
-                    if prediction != instr.taken:
+                    if prediction != taken:
                         rec.mispredicted = True
                         rec.resolved = False
                         self.stats.mispredicts += 1
@@ -596,7 +720,7 @@ class Core:
             if op == OP_BRANCH:
                 if rec.mispredicted:
                     break  # fetch freezes until resolution
-                if instr.taken:
+                if taken:
                     break  # taken-branch fetch break
             elif op == OP_SYSCALL:
                 break

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.isa.instructions import OpClass
-from repro.uarch.core import Core
+from repro.uarch.core import NO_EVENT, Core
 
 #: stage glyphs in the rendered timeline
 GLYPHS = {
@@ -93,7 +93,18 @@ class PipeTrace:
 
 
 class TracingCore:
-    """Wraps a core; stepping it records per-instruction stage cycles."""
+    """Wraps a core; stepping it records per-instruction stage cycles.
+
+    Under event-driven runs (:meth:`run` with ``skip_ahead``) the wrapped
+    core's clock jumps over provably idle windows between steps.  Stage
+    events are recorded from the cycle at which the *worked* step actually
+    ran — read from ``core.cycle`` after any jump, never from a loop
+    counter captured before it — and completion uses the record's own
+    ``complete_cycle``, so every timeline carries true event cycles and is
+    bit-identical to one collected cycle by cycle (pinned by the
+    regression tests in ``tests/uarch/test_pipetrace.py`` and the
+    differential suite).
+    """
 
     def __init__(self, core: Core, limit: int = 4096):
         self.core = core
@@ -147,17 +158,43 @@ class TracingCore:
 
         self.trace.last_cycle = core.cycle
 
-    def run(self, max_steps: int = 1_000_000) -> PipeTrace:
-        """Step the core to completion; return the collected trace."""
+    def run(
+        self,
+        max_steps: int = 1_000_000,
+        skip_ahead: Optional[bool] = None,
+    ) -> PipeTrace:
+        """Step the core to completion; return the collected trace.
+
+        ``skip_ahead=None`` (the default) enables event-driven skip-ahead
+        automatically for standalone cores; contesting cores are always
+        cycle-stepped here because only :class:`ContestingSystem` can see
+        the cross-core events (GRB arrivals, fault windows) that bound a
+        safe jump.  Skips happen strictly *between* steps, so recorded
+        stage cycles are unaffected (see the class docstring).
+        """
+        core = self.core
+        if skip_ahead is None:
+            skip_ahead = core.contest is None
         steps = 0
-        while not self.core.done:
+        while not core.done:
             self.step()
+            if skip_ahead:
+                nxt = core.next_event_cycle()
+                # NO_EVENT means a deadlocked core: fall back to cycle
+                # stepping so max_steps trips the same diagnostic.
+                if core.cycle < nxt < NO_EVENT:
+                    core.skip_to(nxt)
+                    self.trace.last_cycle = core.cycle
             steps += 1
             if steps > max_steps:
                 raise RuntimeError("pipetrace run exceeded max_steps")
         return self.trace
 
 
-def pipetrace(core: Core, limit: int = 4096) -> PipeTrace:
+def pipetrace(
+    core: Core,
+    limit: int = 4096,
+    skip_ahead: Optional[bool] = None,
+) -> PipeTrace:
     """Run ``core`` to completion under tracing and return the pipe trace."""
-    return TracingCore(core, limit=limit).run()
+    return TracingCore(core, limit=limit).run(skip_ahead=skip_ahead)

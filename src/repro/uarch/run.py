@@ -37,6 +37,7 @@ def run_standalone(
     region_size: int = 0,
     max_cycles: int = 0,
     prewarm: bool = True,
+    skip_ahead: bool = True,
 ) -> StandaloneResult:
     """Execute ``trace`` to completion on a core built from ``config``.
 
@@ -49,16 +50,38 @@ def run_standalone(
         Safety bound; 0 derives a generous limit from the trace length.
         Exceeding it raises ``RuntimeError`` (it indicates a model bug, not a
         slow workload).
+    skip_ahead:
+        Event-driven fast path (default): after each worked cycle, jump the
+        clock straight to :meth:`Core.next_event_cycle` instead of stepping
+        through cycles in which no stage can do anything.  Results are
+        bit-identical to cycle stepping (pinned by ``tests/differential``);
+        disable only to cross-check or profile the reference loop.
     """
     core = Core(config, trace, region_size=region_size, prewarm=prewarm)
     limit = max_cycles or (len(trace) * (config.mem_latency + 64) + 100_000)
-    while not core.done:
-        core.step()
-        if core.cycle > limit:
-            raise RuntimeError(
-                f"core {config.name} exceeded {limit} cycles on trace "
-                f"{trace.name}: likely a pipeline deadlock"
-            )
+    if skip_ahead:
+        while not core.done:
+            core.step()
+            if core.cycle > limit:
+                raise RuntimeError(
+                    f"core {config.name} exceeded {limit} cycles on trace "
+                    f"{trace.name}: likely a pipeline deadlock"
+                )
+            if core.done:
+                break
+            nxt = core.next_event_cycle()
+            if nxt > core.cycle:
+                # a deadlocked core has no event at all: land just past the
+                # limit so the step above raises exactly as the slow loop
+                core.skip_to(min(nxt, limit + 1))
+    else:
+        while not core.done:
+            core.step()
+            if core.cycle > limit:
+                raise RuntimeError(
+                    f"core {config.name} exceeded {limit} cycles on trace "
+                    f"{trace.name}: likely a pipeline deadlock"
+                )
     core.collect_cache_stats()
     return StandaloneResult(
         config_name=config.name,

@@ -4,8 +4,6 @@ Session-scoped where safe (traces are immutable by convention; cores are
 constructed fresh per test).
 """
 
-import os
-
 import pytest
 
 from repro.isa.generator import generate_trace
@@ -19,13 +17,6 @@ from repro.isa.phases import (
 )
 from repro.isa.workloads import workload_profile
 from repro.uarch.config import core_config
-
-
-@pytest.fixture(scope="session", autouse=True)
-def _isolated_result_store(tmp_path_factory):
-    """Point the engine's persistent store at a throwaway directory so the
-    suite neither reads nor pollutes the user's real ~/.cache/repro."""
-    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
 
 
 @pytest.fixture(scope="session")

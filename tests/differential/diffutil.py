@@ -1,0 +1,109 @@
+"""Shared machinery for the skip-ahead differential verification suite.
+
+Every test here runs the same workload twice — once with the event-driven
+skip-ahead fast path (the default) and once with reference cycle stepping —
+and demands *exact* equality of every observable: retired counts, cycles,
+picosecond clocks, full per-core stat dicts, fault diagnostics, store-queue
+counters, pipetrace event streams.  Any approximation in the skip-ahead
+horizon shows up as a first-divergence here, not as a silently wrong IPC.
+"""
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.core.system import ContestingSystem
+from repro.isa.generator import generate_trace
+from repro.isa.phases import (
+    PhaseMix,
+    branchy_phase,
+    compute_mul_phase,
+    pointer_chase_phase,
+    serial_chain_phase,
+    stream_phase,
+    wide_ilp_phase,
+    windowed_mem_phase,
+)
+from repro.isa.trace import Trace
+from repro.uarch.run import run_standalone
+
+#: every phase template in the generator — the differential matrix covers
+#: each one in isolation so a horizon bug tied to one behaviour class
+#: (store pressure, mispredict redirects, long-latency misses, ...) cannot
+#: hide behind a mixed profile
+PHASE_FACTORIES = {
+    "wide_ilp": wide_ilp_phase,
+    "serial_chain": serial_chain_phase,
+    "pointer_chase": pointer_chase_phase,
+    "windowed_mem": windowed_mem_phase,
+    "stream": stream_phase,
+    "branchy": branchy_phase,
+    "compute_mul": compute_mul_phase,
+}
+
+
+def phase_trace(template: str, length: int = 2500, seed: int = 0) -> Trace:
+    """A randomized single-phase trace built from one template."""
+    factory = PHASE_FACTORIES[template]
+    mix = PhaseMix(template, [(factory(template), 1.0)])
+    return generate_trace(mix, length, seed=seed)
+
+
+def assert_standalone_identical(config, trace, **kwargs) -> None:
+    """Run standalone both ways and require identical results.
+
+    Reports the first stat that differs by name, so a regression reads as
+    "branch_mispredicts moved", not as an opaque dict mismatch.
+    """
+    fast = run_standalone(config, trace, skip_ahead=True, **kwargs)
+    slow = run_standalone(config, trace, skip_ahead=False, **kwargs)
+    _assert_dicts_equal(
+        dataclasses.asdict(fast),
+        dataclasses.asdict(slow),
+        f"standalone {config.name} on {trace.name}",
+    )
+
+
+def run_contest_both(
+    configs, trace, **kwargs
+) -> Tuple[ContestingSystem, ContestingSystem]:
+    """Build and run one contest per mode; return both finished systems."""
+    fast = ContestingSystem(list(configs), trace, skip_ahead=True, **kwargs)
+    slow = ContestingSystem(list(configs), trace, skip_ahead=False, **kwargs)
+    fast_result = fast.run()
+    slow_result = slow.run()
+    fast._diff_result = fast_result  # stash for the comparison helper
+    slow._diff_result = slow_result
+    return fast, slow
+
+
+def assert_contest_identical(configs, trace, **kwargs) -> None:
+    """Run a contest both ways and require identical observables."""
+    fast, slow = run_contest_both(configs, trace, **kwargs)
+    label = "contest " + "+".join(c.name for c in configs)
+    _assert_dicts_equal(
+        dataclasses.asdict(fast._diff_result),
+        dataclasses.asdict(slow._diff_result),
+        label,
+    )
+    _assert_dicts_equal(fast.fault_stats, slow.fault_stats, label + " faults")
+    assert fast.store_queue.stalls == slow.store_queue.stalls, label
+    assert fast.store_queue.merged == slow.store_queue.merged, label
+    assert fast.store_queue.occupancy == slow.store_queue.occupancy, label
+
+
+def _assert_dicts_equal(fast: Dict, slow: Dict, label: str, path: str = ""):
+    """Deep-compare, naming the first diverging key on failure."""
+    assert fast.keys() == slow.keys(), (
+        f"{label}: key sets differ at {path or '<root>'}: "
+        f"{sorted(fast.keys() ^ slow.keys())}"
+    )
+    for key in fast:
+        where = f"{path}.{key}" if path else str(key)
+        a, b = fast[key], slow[key]
+        if isinstance(a, dict) and isinstance(b, dict):
+            _assert_dicts_equal(a, b, label, where)
+        else:
+            assert a == b, (
+                f"{label}: stat {where!r} diverged under skip-ahead: "
+                f"fast={a!r} reference={b!r}"
+            )

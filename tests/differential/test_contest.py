@@ -1,0 +1,102 @@
+"""Contested skip-ahead vs. reference cycle stepping: exact equality.
+
+The system-level skipper only jumps when *no* active core has work at its
+current clock edge, so every cross-core interaction — GRB transfers, early
+branch resolution, store-queue backpressure, lagging-distance bookkeeping,
+saturation, re-forks — must land on exactly the cycles the cycle-stepped
+co-simulation produces.  These tests force each interaction and demand
+identical results, per-core stat dicts, and store-queue counters.
+"""
+
+import pytest
+
+from repro.uarch.cache import CacheConfig
+from repro.uarch.config import core_config
+
+from .diffutil import assert_contest_identical, phase_trace
+
+
+class TestTwoWay:
+    def test_heterogeneous_pair(self, small_trace):
+        """The paper's canonical setup: two contrasting cores, mixed trace."""
+        assert_contest_identical(
+            [core_config("gcc"), core_config("vpr")], small_trace,
+        )
+
+    def test_memory_bound_pair(self, memory_trace):
+        """Stall-heavy workload — where skip-ahead does the most jumping."""
+        assert_contest_identical(
+            [core_config("mcf"), core_config("crafty")], memory_trace,
+        )
+
+    def test_branchy_pair(self, branchy_trace):
+        """Mispredict-dense: early branch resolution fires constantly."""
+        assert_contest_identical(
+            [core_config("gzip"), core_config("twolf")], branchy_trace,
+        )
+
+    def test_grb_latency_sweep(self):
+        """Different bus latencies shift every arrival timestamp."""
+        trace = phase_trace("serial_chain", length=2000, seed=6)
+        for latency_ns in (0.5, 2.0, 8.0):
+            assert_contest_identical(
+                [core_config("gcc"), core_config("mcf")], trace,
+                grb_latency_ns=latency_ns,
+            )
+
+    def test_early_branch_resolution_off(self, branchy_trace):
+        """The Figure-5 ablation takes a different drain path."""
+        assert_contest_identical(
+            [core_config("gcc"), core_config("vpr")], branchy_trace,
+            early_branch_resolution=False,
+        )
+
+
+class TestNWay:
+    def test_three_way(self, small_trace):
+        assert_contest_identical(
+            [core_config("gcc"), core_config("mcf"), core_config("crafty")],
+            small_trace,
+        )
+
+    @pytest.mark.slow
+    def test_four_way_memory_bound(self, memory_trace):
+        assert_contest_identical(
+            [
+                core_config("gcc"), core_config("mcf"),
+                core_config("crafty"), core_config("vortex"),
+            ],
+            memory_trace,
+        )
+
+
+class TestPressurePaths:
+    def test_store_queue_backpressure(self, store_trace):
+        """A tiny queue keeps the leader blocked on commit: the blocked
+        core must be stepped every cycle, never skipped past a release."""
+        assert_contest_identical(
+            [core_config("crafty"), core_config("mcf")], store_trace,
+            store_queue_capacity=4,
+        )
+
+    def test_saturation_disable(self, memory_trace):
+        """A tight lag bound plus short grace saturates the slow core; the
+        grace-expiry deadline is one of the skip horizon's event sources."""
+        assert_contest_identical(
+            [core_config("crafty"), core_config("mcf")], memory_trace,
+            max_lag=256, sat_grace_ns=5.0,
+        )
+
+    def test_resync_policy(self, memory_trace):
+        """Saturated lagger re-forked at the leader's retirement point."""
+        assert_contest_identical(
+            [core_config("crafty"), core_config("mcf")], memory_trace,
+            max_lag=256, sat_grace_ns=5.0, lagger_policy="resync",
+        )
+
+    def test_shared_l3(self, small_trace):
+        """Merged stores write through to a shared level probed on miss."""
+        assert_contest_identical(
+            [core_config("gcc"), core_config("vpr")], small_trace,
+            shared_l3=CacheConfig(assoc=8, block=64, sets=4096, latency=1),
+        )

@@ -1,0 +1,84 @@
+"""Faulted contests under skip-ahead: every fault path, exact equality.
+
+Fault decisions are counter-based (pure hashes of transfer ordinals and
+commit counts), so a skip that lands one cycle off immediately shifts a
+kill/stall/flip point or a perturbed arrival timestamp and diverges the
+whole run — these are the sharpest differential probes in the suite.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.uarch.config import core_config
+
+from .diffutil import assert_contest_identical, phase_trace
+
+PAIR = lambda: [core_config("gcc"), core_config("vpr")]  # noqa: E731
+
+
+def _trace():
+    return phase_trace("windowed_mem", length=2500, seed=13)
+
+
+class TestTransferFaults:
+    def test_drops(self):
+        assert_contest_identical(
+            PAIR(), _trace(), faults=FaultPlan(seed=3, drop_rate=0.2),
+        )
+
+    def test_corruption(self):
+        assert_contest_identical(
+            PAIR(), _trace(), faults=FaultPlan(seed=5, corrupt_rate=0.15),
+        )
+
+    def test_delays(self):
+        """Delayed transfers move arrival timestamps — the exact values the
+        skip horizon reads from pending FIFO entries."""
+        assert_contest_identical(
+            PAIR(), _trace(),
+            faults=FaultPlan(seed=7, delay_rate=0.3, delay_ns=6.0),
+        )
+
+
+class TestCoreFaults:
+    def test_kill(self):
+        assert_contest_identical(
+            PAIR(), _trace(), faults=FaultPlan(kill_core=1, kill_at_commit=800),
+        )
+
+    def test_stall_window(self):
+        """A stalled core advances its clock doing nothing; the window's
+        first and last cycles are explicit horizon events."""
+        assert_contest_identical(
+            PAIR(), _trace(),
+            faults=FaultPlan(
+                stall_core=0, stall_at_cycle=500, stall_cycles=400,
+            ),
+        )
+
+    def test_standalone_flip(self):
+        assert_contest_identical(
+            PAIR(), _trace(),
+            faults=FaultPlan(standalone_core=1, standalone_at_commit=600),
+        )
+
+
+class TestCombined:
+    def test_everything_at_once(self):
+        plan = FaultPlan(
+            seed=11,
+            drop_rate=0.05, corrupt_rate=0.05,
+            delay_rate=0.1, delay_ns=3.0,
+            stall_core=1, stall_at_cycle=700, stall_cycles=250,
+        )
+        assert_contest_identical(PAIR(), _trace(), faults=plan)
+
+    @pytest.mark.slow
+    def test_fault_seed_sweep(self):
+        """Nightly: many placements of the same mixed plan."""
+        for seed in range(6):
+            plan = FaultPlan(
+                seed=seed, drop_rate=0.1, corrupt_rate=0.1,
+                delay_rate=0.1, delay_ns=4.0,
+            )
+            assert_contest_identical(PAIR(), _trace(), faults=plan)

@@ -1,0 +1,74 @@
+"""Standalone skip-ahead vs. reference cycle stepping: exact equality.
+
+Covers every phase template in the generator at several seeds, a spread of
+Appendix-A core configurations (fast/narrow through slow/wide, perfect and
+realistic front ends), region-time logging, and the no-prewarm cold path.
+The full template x config x seed matrix runs nightly (``slow``); a
+representative slice runs on every push.
+"""
+
+import pytest
+
+from repro.uarch.config import APPENDIX_A_CORES, core_config
+
+from .diffutil import (
+    PHASE_FACTORIES,
+    assert_standalone_identical,
+    phase_trace,
+)
+
+TEMPLATES = sorted(PHASE_FACTORIES)
+
+
+class TestPhaseTemplates:
+    """Each behaviour class in isolation, on contrasting cores."""
+
+    @pytest.mark.parametrize("template", TEMPLATES)
+    @pytest.mark.parametrize("config_name", ["crafty", "mcf"])
+    def test_template_identical(self, template, config_name):
+        trace = phase_trace(template, length=2500, seed=11)
+        assert_standalone_identical(core_config(config_name), trace)
+
+    @pytest.mark.parametrize("template", TEMPLATES)
+    def test_template_seed_sweep(self, template):
+        """Randomized trace content must not matter — three more seeds."""
+        config = core_config("gcc")
+        for seed in (0, 1, 2):
+            trace = phase_trace(template, length=1500, seed=seed)
+            assert_standalone_identical(config, trace)
+
+
+class TestRunModes:
+    def test_region_logging_identical(self):
+        """Region-time logs are cycle-exact, not just the final totals."""
+        trace = phase_trace("pointer_chase", length=3000, seed=4)
+        assert_standalone_identical(
+            core_config("mcf"), trace, region_size=160
+        )
+
+    def test_cold_caches_identical(self):
+        """No prewarm: the long-miss-heavy path the skip loop must bridge."""
+        trace = phase_trace("windowed_mem", length=2000, seed=9)
+        assert_standalone_identical(
+            core_config("vortex"), trace, prewarm=False
+        )
+
+    def test_mixed_profile_identical(self, small_trace):
+        """A phase-diverse benchmark profile (gcc), not a pure template."""
+        assert_standalone_identical(core_config("gcc"), small_trace)
+
+    def test_syscall_drains_identical(self, syscall_trace):
+        """Synchronous exceptions serialize the pipeline; the drained core
+        reports its next event as 'now' and must be stepped exactly."""
+        assert_standalone_identical(core_config("perl"), syscall_trace)
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    """Nightly: every Appendix-A config against every phase template."""
+
+    @pytest.mark.parametrize("config_name", sorted(APPENDIX_A_CORES))
+    @pytest.mark.parametrize("template", TEMPLATES)
+    def test_config_template_identical(self, config_name, template):
+        trace = phase_trace(template, length=2000, seed=17)
+        assert_standalone_identical(core_config(config_name), trace)

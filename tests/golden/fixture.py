@@ -1,0 +1,54 @@
+"""End-to-end performance goldens: every Appendix-A core on three profiles.
+
+``golden_ipc.json`` pins ``instructions``, ``cycles`` and ``time_ps`` for
+all eleven Appendix-A configurations on three contrasting workload
+profiles.  Unlike the differential suite (which proves skip-ahead equals
+cycle stepping), this pins the *absolute* numbers: any change to the
+timing model — intended or not — shows up as a named stat on a named
+(config, profile) cell, and an intended change is ratified by regenerating
+the fixture:
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+"""
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.isa.generator import generate_trace
+from repro.isa.workloads import workload_profile
+from repro.uarch.config import APPENDIX_A_CORES, core_config
+from repro.uarch.run import run_standalone
+
+GOLDEN_PATH = Path(__file__).parent / "golden_ipc.json"
+
+#: three contrasting profiles: phase-diverse (gcc), memory-bound (mcf),
+#: compute/branch-led (crafty)
+PROFILES = ("gcc", "mcf", "crafty")
+LENGTH = 2500
+SEED = 11
+
+
+def compute_goldens() -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Simulate the full config x profile grid and collect pinned stats."""
+    goldens: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for profile in PROFILES:
+        trace = generate_trace(workload_profile(profile), LENGTH, seed=SEED)
+        for config_name in sorted(APPENDIX_A_CORES):
+            result = run_standalone(core_config(config_name), trace)
+            goldens.setdefault(profile, {})[config_name] = {
+                "instructions": result.instructions,
+                "cycles": result.cycles,
+                "time_ps": result.time_ps,
+            }
+    return goldens
+
+
+def load_goldens() -> Dict[str, Dict[str, Dict[str, int]]]:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def save_goldens() -> None:
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_goldens(), indent=1, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,13 @@
+"""Regenerate ``golden_ipc.json`` after an *intended* timing-model change.
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+
+Review the resulting diff cell by cell before committing it — each changed
+number is a claim that the model was supposed to move there.
+"""
+
+from tests.golden.fixture import GOLDEN_PATH, save_goldens
+
+if __name__ == "__main__":
+    save_goldens()
+    print(f"wrote {GOLDEN_PATH}")

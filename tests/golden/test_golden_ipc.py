@@ -1,0 +1,43 @@
+"""Pin end-to-end performance numbers for the Appendix-A config grid."""
+
+import pytest
+
+from repro.uarch.config import APPENDIX_A_CORES
+
+from .fixture import PROFILES, compute_goldens, load_goldens
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_goldens()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_goldens()
+
+
+def test_grid_is_complete(golden):
+    assert sorted(golden) == sorted(PROFILES)
+    for profile in PROFILES:
+        assert sorted(golden[profile]) == sorted(APPENDIX_A_CORES)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+def test_profile_matches_golden(profile, current, golden):
+    """Every pinned stat of every config, first divergence named."""
+    diffs = []
+    for config_name in sorted(APPENDIX_A_CORES):
+        want = golden[profile][config_name]
+        got = current[profile][config_name]
+        for stat in ("instructions", "cycles", "time_ps"):
+            if got[stat] != want[stat]:
+                diffs.append(
+                    f"{config_name}/{profile}: {stat} moved "
+                    f"{want[stat]} -> {got[stat]}"
+                )
+    assert not diffs, (
+        "timing model output changed (regenerate with "
+        "`python -m tests.golden.regenerate` if intended):\n  "
+        + "\n  ".join(diffs)
+    )

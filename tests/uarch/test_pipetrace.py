@@ -83,3 +83,75 @@ class TestPipeTrace:
         traced_core = Core(core_config("gcc"), _trace(150))
         pipetrace(traced_core)
         assert traced_core.time_ps == plain.time_ps
+
+
+class TestSkipAhead:
+    """Timelines collected under event-driven skip-ahead carry true event
+    cycles — including completions whose latency elapsed entirely inside a
+    skipped window, which are back-dated from the in-flight record."""
+
+    def _stall_trace(self, n=400):
+        # a serial chain of loads scattered over a large footprint: every
+        # load misses and depends on the previous one, so the pipeline
+        # idles for long windows the skipper jumps over
+        instrs = []
+        for i in range(n):
+            instrs.append(Instr(
+                OpClass.LOAD,
+                pc=4 * (i % 16),
+                addr=(i * 4097 * 64) % (1 << 24),
+                dep1=i - 1 if i else -1,
+            ))
+        return Trace("stall", instrs)
+
+    def _run_skipping(self, core):
+        """Drive a tracer with explicit skips, recording worked cycles."""
+        from repro.uarch.core import NO_EVENT
+
+        tracer = TracingCore(core, limit=100_000)
+        worked = set()
+        while not core.done:
+            worked.add(core.cycle)
+            tracer.step()
+            nxt = core.next_event_cycle()
+            if core.cycle < nxt < NO_EVENT:
+                core.skip_to(nxt)
+        return tracer.trace, worked
+
+    def test_skip_actually_skips(self):
+        core = Core(core_config("mcf"), self._stall_trace())
+        trace, worked = self._run_skipping(core)
+        # far fewer worked cycles than elapsed cycles, or nothing was tested
+        assert len(worked) < core.cycle // 2
+
+    def test_stage_cycles_true_under_skip(self):
+        """Identity with the cycle-stepped reference, plus soundness: every
+        recorded stage cycle is a cycle the skipping run actually worked —
+        the skipper never jumps past a stage event (completion maturities
+        are themselves skip-horizon events), so a stage cycle inside a
+        skipped window would mean a record was stamped with a wrong clock.
+        """
+        core = Core(core_config("mcf"), self._stall_trace())
+        fast, worked = self._run_skipping(core)
+        slow = pipetrace(
+            Core(core_config("mcf"), self._stall_trace()), skip_ahead=False
+        )
+        assert fast.timelines.keys() == slow.timelines.keys()
+        for seq in slow.timelines:
+            assert fast.timelines[seq] == slow.timelines[seq]
+        for t in fast.timelines.values():
+            for stage in ("fetch", "dispatch", "issue", "complete", "commit"):
+                cycle = getattr(t, stage)
+                assert cycle < 0 or cycle in worked, (
+                    f"instruction {t.seq}: {stage} recorded at {cycle}, "
+                    "which lies inside a skipped window"
+                )
+
+    def test_run_defaults_to_skip_for_standalone(self):
+        fast = pipetrace(Core(core_config("mcf"), self._stall_trace(150)))
+        slow = pipetrace(
+            Core(core_config("mcf"), self._stall_trace(150)),
+            skip_ahead=False,
+        )
+        assert fast.timelines == slow.timelines
+        assert fast.last_cycle == slow.last_cycle
