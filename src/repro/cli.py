@@ -23,7 +23,9 @@ from typing import List, Optional
 
 from repro.engine import ContestJob, ResultStore, SimEngine, StandaloneJob
 from repro.engine import TraceSpec
+from repro.engine.jobs import TraceLike
 from repro.isa.generator import generate_trace
+from repro.isa.trace import Trace
 from repro.isa.serialize import load_trace, save_trace
 from repro.isa.stats import characterize
 from repro.isa.workloads import BENCHMARKS, workload_profile
@@ -31,7 +33,7 @@ from repro.uarch.config import APPENDIX_A_CORES, core_config
 from repro.util.tables import format_table
 
 
-def _trace_from_args(args) -> "Trace":
+def _trace_from_args(args: argparse.Namespace) -> Trace:
     if args.workload.endswith(".rtrc"):
         return load_trace(args.workload)
     if args.workload not in BENCHMARKS:
@@ -44,7 +46,7 @@ def _trace_from_args(args) -> "Trace":
     )
 
 
-def _trace_ref_from_args(args):
+def _trace_ref_from_args(args: argparse.Namespace) -> TraceLike:
     """A trace reference for engine jobs: a tiny :class:`TraceSpec` recipe
     for named benchmarks (cache-compatible with the experiment runner's
     keys), or the loaded trace by value for ``.rtrc`` files."""

@@ -61,7 +61,7 @@ def design_suite(matrix: IptMatrix) -> Dict[str, CmpDesign]:
     """
     designs: Dict[str, CmpDesign] = {}
 
-    def make(name: str, merit: str, cores: Tuple[str, ...], value: float):
+    def make(name: str, merit: str, cores: Tuple[str, ...], value: float) -> None:
         designs[name] = CmpDesign(
             name=name,
             merit=merit,

@@ -36,7 +36,7 @@ class JobStream:
     #: per-benchmark submission weights (uniform when empty)
     weights: Mapping[str, float] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
             raise ValueError("arrival_rate must be positive")
         if self.job_length <= 0 or self.jobs <= 0:
@@ -98,7 +98,7 @@ class CmpQueueSimulator:
         cores_per_type: int = 1,
         policy: str = "preferred",
         contest_ipt: Optional[Mapping[str, float]] = None,
-    ):
+    ) -> None:
         if not core_types:
             raise ValueError("need at least one core type")
         if cores_per_type < 1:

@@ -20,7 +20,7 @@ from typing import Dict, List
 class SyncStoreQueue:
     """Tracks per-core store progress and merges completed stores."""
 
-    def __init__(self, core_ids: List[int], capacity: int = 512):
+    def __init__(self, core_ids: List[int], capacity: int = 512) -> None:
         if capacity < 1:
             raise ValueError("store queue capacity must be >= 1")
         if not core_ids:

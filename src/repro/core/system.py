@@ -34,12 +34,13 @@ round-robin co-simulation without simulating idle base units.
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.faults import XFER_CORRUPT, XFER_DELAY, XFER_DROP, XFER_OK
+from repro.faults import FaultPlan, XFER_CORRUPT, XFER_DELAY, XFER_DROP, XFER_OK
 from repro.isa.instructions import OpClass
 from repro.isa.trace import Trace
 from repro.core.storequeue import SyncStoreQueue
+from repro.uarch.cache import Cache, CacheConfig
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import NO_EVENT, Core, RunStats
 from repro.util.units import ns_to_ps
@@ -61,10 +62,10 @@ class ResultFifo:
         "faulted",
     )
 
-    def __init__(self, sender_id: int):
+    def __init__(self, sender_id: int) -> None:
         self.sender_id = sender_id
         self.next_seq = 0
-        self.arrivals = deque()
+        self.arrivals: Deque[int] = deque()
         self.popped_late = 0
         self.popped_paired = 0
         #: seq -> XFER_DROP/XFER_CORRUPT for in-flight faulted transfers;
@@ -167,11 +168,11 @@ class ContestingSystem:
         early_branch_resolution: bool = True,
         lagger_policy: str = "disable",
         resync_penalty_cycles: int = 100,
-        shared_l3=None,
+        shared_l3: Optional[CacheConfig] = None,
         shared_l3_latency_ns: float = 4.0,
-        faults=None,
+        faults: Optional[FaultPlan] = None,
         skip_ahead: bool = True,
-    ):
+    ) -> None:
         if len(configs) < 2:
             raise ValueError("contesting requires at least two cores")
         if max_lag < 0:
@@ -204,10 +205,8 @@ class ContestingSystem:
         #: 4.2's "shared cache level"); merged stores are performed to it
         #: and every core's L2 misses probe it with a per-clock-domain
         #: cycle latency derived from ``shared_l3_latency_ns``
-        self.shared_l3 = None
+        self.shared_l3: Optional[Cache] = None
         if shared_l3 is not None:
-            from repro.uarch.cache import Cache
-
             self.shared_l3 = Cache(shared_l3)
         self.cores: List[Core] = [
             Core(
@@ -467,7 +466,7 @@ class ContestingSystem:
     # fault orchestration (every path below requires an installed plan)
     # ------------------------------------------------------------------
 
-    def _fault_preempt(self, core: Core, faults) -> bool:
+    def _fault_preempt(self, core: Core, faults: FaultPlan) -> bool:
         """Apply core-level faults due at this core's current edge.
 
         Returns True when the scheduled step must be skipped (the core was
@@ -539,7 +538,9 @@ class ContestingSystem:
     # event-driven skip-ahead
     # ------------------------------------------------------------------
 
-    def _core_has_work_now(self, core: Core, faults) -> bool:
+    def _core_has_work_now(
+        self, core: Core, faults: Optional[FaultPlan]
+    ) -> bool:
         """Whether stepping ``core`` at its current clock edge could change
         any state (so the edge must be executed for real, not skipped).
 
@@ -578,7 +579,9 @@ class ContestingSystem:
                 return True  # saturation fires at this edge
         return False
 
-    def _skip_idle_gap(self, active: List[Core], faults) -> bool:
+    def _skip_idle_gap(
+        self, active: List[Core], faults: Optional[FaultPlan]
+    ) -> bool:
         """Jump every active core to its first clock edge at or past the
         earliest future work time anywhere in the system.
 
@@ -737,7 +740,7 @@ def run_contest(
     config_b: CoreConfig,
     trace: Trace,
     grb_latency_ns: float = 1.0,
-    **kwargs,
+    **kwargs: Any,
 ) -> ContestResult:
     """Run 2-way contesting (the configuration the paper evaluates)."""
     system = ContestingSystem(

@@ -19,9 +19,9 @@ byte-identical with and without caching.
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from repro.engine.executors import SerialExecutor
+from repro.engine.executors import ParallelExecutor, SerialExecutor
 from repro.engine.failures import JobFailure
 from repro.engine.jobs import SimJob
 from repro.engine.store import ResultStore
@@ -63,7 +63,11 @@ class SimEngine:
         ``None`` keeps caching in-memory only.
     """
 
-    def __init__(self, executor=None, store: Optional[ResultStore] = None):
+    def __init__(
+        self,
+        executor: Optional[Union[SerialExecutor, ParallelExecutor]] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
         self.executor = executor or SerialExecutor()
         self.store = store
         self.stats = EngineStats()

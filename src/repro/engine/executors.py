@@ -41,18 +41,19 @@ A batch therefore always returns one entry per job: failed jobs as
 """
 
 import logging
-import random
 import os
 import time
 import traceback
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
+from random import Random
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.failures import JobFailure, job_kind
 from repro.engine.jobs import SimJob, execute_job
+from repro.util.rng import substream
 
 _log = logging.getLogger("repro.engine")
 
@@ -80,7 +81,7 @@ def derive_chunk_size(n_jobs: int, workers: int, requested: int = 0) -> int:
     return size
 
 
-def _run_chunk(jobs: List[SimJob]) -> List[tuple]:
+def _run_chunk(jobs: List[SimJob]) -> List[Tuple[object, ...]]:
     """Worker-side chunk runner with per-job exception capture.
 
     Returns one outcome per job, in order: ``("ok", result, seconds)`` or
@@ -88,7 +89,7 @@ def _run_chunk(jobs: List[SimJob]) -> List[tuple]:
     raising job therefore never poisons its chunk-mates; only a death of
     the worker process itself (OOM, SIGKILL) loses the chunk.
     """
-    out = []
+    out: List[Tuple[object, ...]] = []
     for job in jobs:
         started = time.perf_counter()
         try:
@@ -149,7 +150,7 @@ class RetryPolicy:
     jitter_seed: int = 0
     job_timeout_s: Optional[float] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_s < 0 or self.backoff_multiplier < 1:
@@ -159,7 +160,7 @@ class RetryPolicy:
         if self.job_timeout_s is not None and self.job_timeout_s <= 0:
             raise ValueError("job_timeout_s must be positive")
 
-    def backoff(self, attempt: int, rng: random.Random) -> float:
+    def backoff(self, attempt: int, rng: Random) -> float:
         """Sleep before running ``attempt`` (attempt 2 is the first retry)."""
         base = self.backoff_s * self.backoff_multiplier ** max(0, attempt - 2)
         return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
@@ -170,7 +171,7 @@ class _Chunk:
 
     __slots__ = ("indices", "attempt", "running_since", "timed_out")
 
-    def __init__(self, indices: Tuple[int, ...], attempt: int = 1):
+    def __init__(self, indices: Tuple[int, ...], attempt: int = 1) -> None:
         self.indices = indices
         self.attempt = attempt
         self.running_since: Optional[float] = None
@@ -212,7 +213,7 @@ class ParallelExecutor:
         workers: int = 0,
         chunk_size: int = 0,
         retry: Optional[RetryPolicy] = None,
-    ):
+    ) -> None:
         if workers < 0 or chunk_size < 0:
             raise ValueError("workers and chunk_size must be >= 0")
         self.workers = workers or os.cpu_count() or 1
@@ -235,9 +236,15 @@ class ParallelExecutor:
 
     # ------------------------------------------------------------------
 
-    def _run_pool(self, jobs, workers) -> List[Tuple[object, float]]:
+    def _run_pool(
+        self, jobs: List[SimJob], workers: int
+    ) -> List[Tuple[object, float]]:
         policy = self.retry
-        rng = random.Random(policy.jitter_seed)
+        # Backoff jitter draws from a *named* seeded substream
+        # (repro.util.rng is the sanctioned randomness entry point), so
+        # scheduling noise can never bleed into — or be perturbed by —
+        # any other stochastic component sharing the process.
+        rng = substream(policy.jitter_seed, "engine", "backoff-jitter")
         n = len(jobs)
         results: List[Optional[Tuple[object, float]]] = [None] * n
         size = derive_chunk_size(n, workers, self.chunk_size)
@@ -292,13 +299,20 @@ class ParallelExecutor:
         finally:
             if pool is not None:
                 pool.shutdown()
+        out: List[Tuple[object, float]] = []
         for i, slot in enumerate(results):
             if slot is None:  # defensive: no job may go unanswered
-                results[i] = _guarded_execute(jobs[i])
-        return results
+                slot = _guarded_execute(jobs[i])
+            out.append(slot)
+        return out
 
     def _drive(
-        self, pool, jobs, queue, results, attribute_breaks=False
+        self,
+        pool: ProcessPoolExecutor,
+        jobs: List[SimJob],
+        queue: Deque[_Chunk],
+        results: List[Optional[Tuple[object, float]]],
+        attribute_breaks: bool = False,
     ) -> bool:
         """Submit everything queued and absorb completions.
 
@@ -311,7 +325,7 @@ class ParallelExecutor:
         """
         policy = self.retry
         collateral = not attribute_breaks
-        inflight: Dict[object, _Chunk] = {}
+        inflight: Dict["Future[List[Tuple[object, ...]]]", _Chunk] = {}
         broken = False
         while queue:
             chunk = queue.popleft()
@@ -349,8 +363,14 @@ class ParallelExecutor:
         return broken
 
     def _absorb(
-        self, fut, chunk, jobs, queue, results,
-        draining=False, collateral=False,
+        self,
+        fut: "Future[List[Tuple[object, ...]]]",
+        chunk: _Chunk,
+        jobs: List[SimJob],
+        queue: Deque[_Chunk],
+        results: List[Optional[Tuple[object, float]]],
+        draining: bool = False,
+        collateral: bool = False,
     ) -> bool:
         """Fold one finished future into results/queue; True if pool broke."""
         policy = self.retry
@@ -397,7 +417,12 @@ class ParallelExecutor:
         return False
 
     def _requeue_lost(
-        self, chunk, jobs, queue, results, collateral=False
+        self,
+        chunk: _Chunk,
+        jobs: List[SimJob],
+        queue: Deque[_Chunk],
+        results: List[Optional[Tuple[object, float]]],
+        collateral: bool = False,
     ) -> None:
         """Reschedule (or fail) a chunk whose worker vanished.
 
@@ -453,7 +478,11 @@ class ParallelExecutor:
         else:
             queue.append(_Chunk(chunk.indices, attempt=chunk.attempt + 1))
 
-    def _watchdog(self, pool, inflight) -> bool:
+    def _watchdog(
+        self,
+        pool: ProcessPoolExecutor,
+        inflight: Dict["Future[List[Tuple[object, ...]]]", _Chunk],
+    ) -> bool:
         """Kill the pool when a running chunk exceeds its time budget.
 
         A hung worker cannot be cancelled through the executor API, so the

@@ -29,7 +29,7 @@ import logging
 import os
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
 try:
     import fcntl
@@ -96,7 +96,7 @@ class ResultStore:
         self,
         path: Union[str, Path, None] = None,
         max_entries: int = 100_000,
-    ):
+    ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         base = Path(path).expanduser() if path else default_cache_dir()
@@ -185,7 +185,7 @@ class ResultStore:
             pass  # read-only filesystem: stay a process-lifetime cache
 
     @contextmanager
-    def _locked(self):
+    def _locked(self) -> Iterator[None]:
         """Hold the store's advisory file lock (no-op without ``fcntl``)."""
         if fcntl is None:
             yield

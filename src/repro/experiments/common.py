@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.regions import BASE_REGION, RegionLog
 from repro.analysis.switching import pair_switch_time
 from repro.core.system import ContestResult
+from repro.faults import FaultPlan
 from repro.engine import (
     ContestJob,
     RegionLogJob,
@@ -76,7 +77,7 @@ class ExperimentContext:
         benchmarks: Sequence[str] = BENCHMARKS,
         seed: Optional[int] = None,
         engine: Optional[SimEngine] = None,
-    ):
+    ) -> None:
         try:
             preset = SCALES[scale]
         except KeyError:
@@ -139,7 +140,7 @@ class ExperimentContext:
         max_lag: int = 0,
         sat_grace_ns: float = 400.0,
         lagger_policy: str = "disable",
-        faults=None,
+        faults: Optional[FaultPlan] = None,
     ) -> ContestResult:
         """Contested run of the benchmark on the given cores (engine-cached).
 
@@ -156,8 +157,14 @@ class ExperimentContext:
         ))
 
     def _contest_job(
-        self, bench, configs, latency, max_lag=0, sat_grace_ns=400.0,
-        lagger_policy="disable", faults=None,
+        self,
+        bench: str,
+        configs: Sequence[CoreConfig],
+        latency: float,
+        max_lag: int = 0,
+        sat_grace_ns: float = 400.0,
+        lagger_policy: str = "disable",
+        faults: Optional[FaultPlan] = None,
     ) -> ContestJob:
         return ContestJob(
             configs=tuple(configs),

@@ -24,7 +24,8 @@ import logging
 import sys
 import time
 import traceback
-from typing import Callable, Dict, Optional
+from types import ModuleType
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO
 
 from repro.engine import ParallelExecutor, ResultStore, SimEngine
 from repro.experiments import fig01, fig06, fig07, fig08, fig09, fig10
@@ -40,21 +41,21 @@ class SuiteFailure(RuntimeError):
     """Raised by :func:`run_all` under ``keep_going`` when any experiment
     failed; carries the per-experiment tracebacks."""
 
-    def __init__(self, errors: Dict[str, str]):
+    def __init__(self, errors: Dict[str, str]) -> None:
         super().__init__(
             f"{len(errors)} experiment(s) failed: {', '.join(errors)}"
         )
         self.errors = errors
 
 
-def _render(module, result) -> str:
+def _render(module: ModuleType, result: Any) -> str:
     if hasattr(module, "render"):
         return module.render(result)
     return result.render()
 
 
 #: Registry in the paper's presentation order.
-EXPERIMENTS: Dict[str, Callable] = {
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], Any]] = {
     "fig01": fig01.run,
     "appendix_a": appendix_a.run,
     "fig06": fig06.run,
@@ -106,9 +107,12 @@ def build_engine(
 
 
 def run_all(
-    scale: str = "default", names=None, stream=None, engine=None,
+    scale: str = "default",
+    names: Optional[Sequence[str]] = None,
+    stream: Optional[Any] = None,  # anything with write(); see _Tee below
+    engine: Optional[SimEngine] = None,
     keep_going: bool = False,
-):
+) -> Dict[str, Any]:
     """Run the selected experiments, print each, return the result dict.
 
     ``engine`` defaults to a serial, memory-cache-only
@@ -121,7 +125,7 @@ def run_all(
     stream = stream if stream is not None else sys.stdout
     ctx = ExperimentContext(scale=scale, engine=engine)
     selected = list(names) if names else list(EXPERIMENTS)
-    results = {}
+    results: Dict[str, Any] = {}
     errors: Dict[str, str] = {}
     for name in selected:
         if name not in EXPERIMENTS:
@@ -154,7 +158,7 @@ def run_all(
     return results
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (see module docstring for usage)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -213,14 +217,14 @@ def main(argv=None) -> int:
     )
     if args.output:
         class _Tee:
-            def __init__(self, *streams):
+            def __init__(self, *streams: TextIO) -> None:
                 self._streams = streams
 
-            def write(self, text):
+            def write(self, text: str) -> None:
                 for s in self._streams:
                     s.write(text)
 
-            def flush(self):
+            def flush(self) -> None:
                 for s in self._streams:
                     s.flush()
 

@@ -14,24 +14,26 @@ import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.engine import SimEngine
 from repro.explore.objective import EngineObjective, Objective, cached
 from repro.explore.objective import evaluate_candidates
 from repro.explore.space import DesignSpace, derive_config
+from repro.uarch.config import CoreConfig
 from repro.util.rng import substream
 
 #: checkpoint format version; bump on layout change
 _CHECKPOINT_VERSION = 1
 
 
-def _rng_state_to_json(state) -> list:
+def _rng_state_to_json(state: Tuple[Any, ...]) -> List[Any]:
     """``random.Random.getstate()`` tuple -> JSON-serialisable list."""
     version, internal, gauss = state
     return [version, list(internal), gauss]
 
 
-def _rng_state_from_json(payload) -> tuple:
+def _rng_state_from_json(payload: List[Any]) -> Tuple[Any, ...]:
     """Inverse of :func:`_rng_state_to_json`."""
     version, internal, gauss = payload
     return (version, tuple(internal), gauss)
@@ -47,7 +49,7 @@ class AnnealingResult:
     #: (step, score of accepted point) trajectory for diagnostics
     trajectory: List[Tuple[int, float]]
 
-    def best_config(self, name: str):
+    def best_config(self, name: str) -> CoreConfig:
         """Materialise the best genome as a named CoreConfig."""
         return derive_config(name, self.best_genome)
 
@@ -61,9 +63,9 @@ def simulated_annealing(
     space: Optional[DesignSpace] = None,
     name: str = "candidate",
     memoise: bool = True,
-    engine=None,
+    engine: Optional[SimEngine] = None,
     neighbours_per_step: int = 1,
-    checkpoint_path=None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 25,
     resume: bool = False,
 ) -> AnnealingResult:
@@ -100,7 +102,7 @@ def simulated_annealing(
     batched = engine is not None and isinstance(objective, EngineObjective)
     if batched:
         # the engine's in-memory cache already memoises on the job identity
-        def score_batch(genomes):
+        def score_batch(genomes: List[Dict[str, int]]) -> List[float]:
             return evaluate_candidates(
                 engine, objective,
                 [derive_config(name, g) for g in genomes],
@@ -108,13 +110,21 @@ def simulated_annealing(
     else:
         serial = cached(objective) if memoise else objective
 
-        def score_batch(genomes):
+        def score_batch(genomes: List[Dict[str, int]]) -> List[float]:
             return [serial(derive_config(name, g)) for g in genomes]
 
     checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
 
-    def save_checkpoint(step, temp, current, current_score, best,
-                        best_score, evaluations, trajectory):
+    def save_checkpoint(
+        step: int,
+        temp: float,
+        current: Dict[str, int],
+        current_score: float,
+        best: Dict[str, int],
+        best_score: float,
+        evaluations: int,
+        trajectory: List[Tuple[Any, ...]],
+    ) -> None:
         payload = {
             "version": _CHECKPOINT_VERSION,
             "seed": seed,

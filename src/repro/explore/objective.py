@@ -11,7 +11,10 @@ still callable (it executes its own jobs serially), so the two shapes are
 interchangeable at call sites.
 """
 
-from typing import Callable, Dict, List, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence
+
+if TYPE_CHECKING:
+    from repro.engine.engine import SimEngine
 
 from repro.engine.jobs import (
     ContestJob,
@@ -50,7 +53,7 @@ class WorkloadObjective(EngineObjective):
     """IPT of one workload on the candidate core (benchmark customisation,
     the paper's Appendix-A setting)."""
 
-    def __init__(self, trace: TraceLike):
+    def __init__(self, trace: TraceLike) -> None:
         self.trace = trace
 
     def jobs(self, config: CoreConfig) -> List[SimJob]:
@@ -66,7 +69,7 @@ class SuiteObjective(EngineObjective):
     """Harmonic-mean IPT over a suite (the paper's whole-suite exploration,
     Section 6.2, which found no core meaningfully better than gcc's)."""
 
-    def __init__(self, traces: Sequence[TraceLike]):
+    def __init__(self, traces: Sequence[TraceLike]) -> None:
         if not traces:
             raise ValueError("SuiteObjective needs at least one trace")
         self.traces = tuple(traces)
@@ -92,7 +95,7 @@ class ContestPairObjective(EngineObjective):
     def __init__(
         self, trace: TraceLike, partner: CoreConfig,
         grb_latency_ns: float = 1.0,
-    ):
+    ) -> None:
         self.trace = trace
         self.partner = partner
         self.grb_latency_ns = grb_latency_ns
@@ -110,7 +113,9 @@ class ContestPairObjective(EngineObjective):
 
 
 def evaluate_candidates(
-    engine, objective: EngineObjective, configs: Sequence[CoreConfig]
+    engine: "SimEngine",
+    objective: EngineObjective,
+    configs: Sequence[CoreConfig],
 ) -> List[float]:
     """Score many candidate configs as one engine batch.
 

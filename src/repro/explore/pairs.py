@@ -15,7 +15,10 @@ co-simulation.  This module implements exactly that:
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.engine.engine import SimEngine
 
 from repro.engine.jobs import ContestJob, TraceLike
 from repro.explore.space import DesignSpace, derive_config
@@ -28,7 +31,7 @@ def contest_score(
     config_b: CoreConfig,
     trace: TraceLike,
     grb_latency_ns: float = 1.0,
-    engine=None,
+    engine: Optional["SimEngine"] = None,
 ) -> float:
     """Contested IPT of a pair on a trace (the pair-exploration objective).
 
@@ -48,7 +51,7 @@ def best_partner_from_palette(
     candidates: Sequence[CoreConfig],
     trace: TraceLike,
     grb_latency_ns: float = 1.0,
-    engine=None,
+    engine: Optional["SimEngine"] = None,
 ) -> Tuple[CoreConfig, float]:
     """Contest ``base`` against every candidate; return the best partner.
 
@@ -94,7 +97,9 @@ class PairResult:
     evaluations: int
     trajectory: List[Tuple[int, float]]
 
-    def best_configs(self, name_a: str = "pair_a", name_b: str = "pair_b"):
+    def best_configs(
+        self, name_a: str = "pair_a", name_b: str = "pair_b"
+    ) -> Tuple[CoreConfig, CoreConfig]:
         """Materialise both best genomes as named CoreConfigs."""
         return (
             derive_config(name_a, self.genome_a),
@@ -110,7 +115,7 @@ def explore_contesting_pair(
     initial_temp: float = 0.25,
     final_temp: float = 0.01,
     space: Optional[DesignSpace] = None,
-    engine=None,
+    engine: Optional["SimEngine"] = None,
 ) -> PairResult:
     """Anneal over the joint (core A, core B) design space.
 

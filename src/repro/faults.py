@@ -83,7 +83,7 @@ class FaultPlan:
     #: retirement count at which the flip fires
     standalone_at_commit: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for name in ("drop_rate", "corrupt_rate", "delay_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:

@@ -11,7 +11,7 @@ from typing import Dict, List, Optional
 from repro.isa.instructions import Instr, OpClass
 from repro.isa.phases import PhaseMix, PhaseType
 from repro.isa.trace import Trace
-from repro.util.rng import substream
+from repro.util.rng import Random, substream
 
 
 class _PhaseRuntime:
@@ -29,7 +29,9 @@ class _PhaseRuntime:
         "obj_pos",
     )
 
-    def __init__(self, phase: PhaseType, index: int, region_id: int, rng):
+    def __init__(
+        self, phase: PhaseType, index: int, region_id: int, rng: Random
+    ) -> None:
         self.phase = phase
         # Distinct PC regions per phase type keep predictor behaviour
         # attributable to the phase; the data region may be shared between
@@ -49,7 +51,7 @@ class _PhaseRuntime:
         self.next_branch = 0
 
 
-def _sample_dwell(rng, mean: int) -> int:
+def _sample_dwell(rng: Random, mean: int) -> int:
     """Geometric-ish dwell with the configured mean, never below 8."""
     return max(8, int(rng.expovariate(1.0 / mean)))
 

@@ -61,7 +61,7 @@ class Instr:
         dep2: int = -1,
         addr: int = 0,
         taken: bool = False,
-    ):
+    ) -> None:
         self.op = int(op)
         self.pc = pc
         self.dep1 = dep1

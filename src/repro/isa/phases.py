@@ -18,7 +18,7 @@ Each phase type pins down the properties the timing models are sensitive to:
 """
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -102,7 +102,7 @@ class PhaseType:
     #: per-instruction probability of a synchronous exception (syscall)
     syscall_rate: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         mix = (
             self.load_frac
             + self.store_frac
@@ -139,7 +139,7 @@ class PhaseMix:
     #: drawn from the stationary ``weights`` regardless of the current one.
     transitions: Optional[List[List[float]]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.entries:
             raise ValueError("a PhaseMix needs at least one phase type")
         names = [p.name for p, _ in self.entries]
@@ -176,13 +176,13 @@ class PhaseMix:
 # ---------------------------------------------------------------------------
 
 
-def _make(name: str, base: dict, **overrides) -> PhaseType:
+def _make(name: str, base: Dict[str, Any], **overrides: Any) -> PhaseType:
     params = dict(base)
     params.update(overrides)
     return PhaseType(name=name, **params)
 
 
-def wide_ilp_phase(name: str = "wide_ilp", **overrides) -> PhaseType:
+def wide_ilp_phase(name: str = "wide_ilp", **overrides: Any) -> PhaseType:
     """Abundant independent integer work; rewards wide, fast cores."""
     base = dict(
         load_frac=0.16,
@@ -202,7 +202,7 @@ def wide_ilp_phase(name: str = "wide_ilp", **overrides) -> PhaseType:
     return _make(name, base, **overrides)
 
 
-def serial_chain_phase(name: str = "serial_chain", **overrides) -> PhaseType:
+def serial_chain_phase(name: str = "serial_chain", **overrides: Any) -> PhaseType:
     """Long ALU dependence chains; rewards zero wakeup latency and a short
     issue-to-issue loop, regardless of width."""
     base = dict(
@@ -223,7 +223,7 @@ def serial_chain_phase(name: str = "serial_chain", **overrides) -> PhaseType:
     return _make(name, base, **overrides)
 
 
-def pointer_chase_phase(name: str = "pointer_chase", **overrides) -> PhaseType:
+def pointer_chase_phase(name: str = "pointer_chase", **overrides: Any) -> PhaseType:
     """Serially dependent loads over a footprint; performance is dominated by
     the average load latency, i.e. by which cache level holds the footprint."""
     base = dict(
@@ -245,7 +245,7 @@ def pointer_chase_phase(name: str = "pointer_chase", **overrides) -> PhaseType:
     return _make(name, base, **overrides)
 
 
-def windowed_mem_phase(name: str = "windowed_mem", **overrides) -> PhaseType:
+def windowed_mem_phase(name: str = "windowed_mem", **overrides: Any) -> PhaseType:
     """Independent scattered loads; rewards a large instruction window that
     can overlap many long-latency misses (memory-level parallelism)."""
     base = dict(
@@ -266,7 +266,7 @@ def windowed_mem_phase(name: str = "windowed_mem", **overrides) -> PhaseType:
     return _make(name, base, **overrides)
 
 
-def stream_phase(name: str = "stream", **overrides) -> PhaseType:
+def stream_phase(name: str = "stream", **overrides: Any) -> PhaseType:
     """Sequential strided access; rewards large cache blocks (spatial
     locality) and modest windows."""
     base = dict(
@@ -287,7 +287,7 @@ def stream_phase(name: str = "stream", **overrides) -> PhaseType:
     return _make(name, base, **overrides)
 
 
-def branchy_phase(name: str = "branchy", **overrides) -> PhaseType:
+def branchy_phase(name: str = "branchy", **overrides: Any) -> PhaseType:
     """Branch-dense control flow; the bias parameter sets predictability and
     thereby how much the front-end depth (redirect penalty) hurts."""
     base = dict(
@@ -309,7 +309,7 @@ def branchy_phase(name: str = "branchy", **overrides) -> PhaseType:
     return _make(name, base, **overrides)
 
 
-def compute_mul_phase(name: str = "compute_mul", **overrides) -> PhaseType:
+def compute_mul_phase(name: str = "compute_mul", **overrides: Any) -> PhaseType:
     """Multiply-heavy arithmetic with moderate ILP."""
     base = dict(
         load_frac=0.12,

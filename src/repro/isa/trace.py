@@ -22,7 +22,7 @@ class DecodedTrace:
 
     __slots__ = ("ops", "pcs", "deps1", "deps2", "addrs", "takens")
 
-    def __init__(self, instructions: Sequence[Instr]):
+    def __init__(self, instructions: Sequence[Instr]) -> None:
         self.ops: List[int] = [i.op for i in instructions]
         self.pcs: List[int] = [i.pc for i in instructions]
         self.deps1: List[int] = [i.dep1 for i in instructions]
@@ -44,7 +44,7 @@ class Trace:
         instructions: Sequence[Instr],
         seed: int = 0,
         phase_starts: Sequence[int] = (),
-    ):
+    ) -> None:
         if not instructions:
             raise ValueError("a trace must contain at least one instruction")
         self.name = name

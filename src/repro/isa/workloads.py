@@ -37,7 +37,7 @@ Phase-vocabulary notes (what anchors what, in this timing model):
   bounds the footprint: ~200KB -> vortex, ~600KB -> twolf, ~1.5MB -> vpr.
 """
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.isa.phases import (
     PhaseMix,
@@ -79,7 +79,7 @@ BENCHMARKS = (
 # profile); the factory functions below centralise the calibrated parameters.
 
 
-def _pure_serial(name: str, **kw) -> PhaseType:
+def _pure_serial(name: str, **kw: Any) -> PhaseType:
     """Strictly serial ALU chains: the mcf-core anchor (fast 0-wakeup clock)."""
     base = dict(
         load_frac=0.005,
@@ -95,14 +95,14 @@ def _pure_serial(name: str, **kw) -> PhaseType:
     return serial_chain_phase(name, **base)
 
 
-def _serial_ld(name: str, **kw) -> PhaseType:
+def _serial_ld(name: str, **kw: Any) -> PhaseType:
     """Serial chains mixed with small-footprint loads: the bzip-core anchor."""
     base = dict(load_frac=0.14, footprint=40 * KB)
     base.update(kw)
     return serial_chain_phase(name, **base)
 
 
-def _ilp_pure(name: str, **kw) -> PhaseType:
+def _ilp_pure(name: str, **kw: Any) -> PhaseType:
     """Near-independent scheduled code: the crafty-core anchor."""
     base = dict(
         dep1_frac=0.05,
@@ -119,7 +119,7 @@ def _ilp_pure(name: str, **kw) -> PhaseType:
     return wide_ilp_phase(name, **base)
 
 
-def _ilp_sparse(name: str, **kw) -> PhaseType:
+def _ilp_sparse(name: str, **kw: Any) -> PhaseType:
     """Latency-tolerant ILP with real dependences: the perl-core anchor."""
     base = dict(
         dep1_frac=0.30,
@@ -152,13 +152,13 @@ def _divwin(name: str) -> PhaseType:
     )
 
 
-def _chase(name: str, footprint: int, **kw) -> PhaseType:
+def _chase(name: str, footprint: int, **kw: Any) -> PhaseType:
     base = dict(footprint=footprint, obj_words=2, zipf_skew=1.5)
     base.update(kw)
     return pointer_chase_phase(name, **base)
 
 
-def _win(name: str, footprint: int, **kw) -> PhaseType:
+def _win(name: str, footprint: int, **kw: Any) -> PhaseType:
     base = dict(footprint=footprint, obj_words=2, zipf_skew=1.5)
     base.update(kw)
     return windowed_mem_phase(name, **base)

@@ -1,0 +1,50 @@
+"""``repro.lint`` — determinism & invariant static analysis for the simulator.
+
+The whole reproduction rests on bit-identical determinism: cached results
+(:mod:`repro.engine.store`), the skip-ahead differential suite and the
+golden fixtures are only sound while simulations stay pure functions of
+their job description.  The test suite catches violations *late* (a stale
+cache entry, a golden diff) or *never* (an unseeded RNG that happens to be
+stable on one machine).  This package catches the known failure classes
+*statically*, at lint time, before the code ever runs:
+
+* :mod:`~repro.lint.rules.wallclock` — ``no-wallclock``: model code must
+  not read host clocks; simulated time comes from the cycle/picosecond
+  clock.
+* :mod:`~repro.lint.rules.unseeded_random` — ``no-unseeded-random``:
+  :mod:`repro.util.rng` is the sole sanctioned randomness entry point.
+* :mod:`~repro.lint.rules.frozen_config` — ``frozen-config``: config and
+  job-spec dataclasses must be ``frozen=True``.
+* :mod:`~repro.lint.rules.cache_key` — ``cache-key-completeness``: every
+  field of a job spec must feed its cache key.
+* :mod:`~repro.lint.rules.pickle_boundary` — ``pickle-boundary``: attrs
+  dropped by ``__getstate__`` need a rebuild path.
+* :mod:`~repro.lint.rules.mutable_default` — ``no-mutable-default``.
+* :mod:`~repro.lint.rules.dict_order` — ``no-dict-order-dependence``:
+  sorted iteration over sets in timing-model code.
+
+Run it as ``python -m repro.lint [paths]`` (see :mod:`repro.lint.cli` for
+``--select/--ignore/--format=json/--list-rules``).  A finding can be
+suppressed in place with a ``# repro: allow-<rule>`` pragma on the
+offending line (or on a comment-only line directly above it); see
+``docs/static-analysis.md`` for the rule catalogue and rationale.
+
+The analyzer is pure stdlib (:mod:`ast`) — no third-party dependency — so
+it runs anywhere the simulator runs and is itself covered by the tier-1
+test suite (``tests/lint``).
+"""
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import RULES, FileContext, Rule, all_rules
+from repro.lint.runner import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.lint [paths]``."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

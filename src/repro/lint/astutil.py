@@ -1,0 +1,137 @@
+"""Small AST helpers shared by the rules.
+
+The rules never need full name resolution — just enough import tracking to
+answer "does this call reach module ``m``'s attribute ``a``?" under the
+aliasing forms that actually occur (``import m``, ``import m as x``,
+``from m import a``, ``from m import a as y``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class ImportMap:
+    """Module-level import aliases for one file.
+
+    ``module_aliases`` maps a local name to the module it is bound to
+    (``import random as rnd`` -> ``{"rnd": "random"}``).
+    ``member_aliases`` maps a local name to ``(module, member)``
+    (``from random import Random as R`` -> ``{"R": ("random", "Random")}``).
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.module_aliases: Dict[str, str] = {}
+        self.member_aliases: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.member_aliases[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+    def resolve_call(self, func: ast.expr) -> Optional[Tuple[str, str]]:
+        """Resolve a call's func to ``(module, member)`` when it is a
+        one-level access through a tracked import, else ``None``."""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module = self.module_aliases.get(func.value.id)
+            if module is not None:
+                return module, func.attr
+            return None
+        if isinstance(func, ast.Name):
+            return self.member_aliases.get(func.id)
+        return None
+
+
+def iter_imports(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.stmt, str, Optional[str]]]:
+    """Yield ``(node, module, member)`` for every import binding.
+
+    ``member`` is ``None`` for plain ``import module`` forms.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name, None
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                yield node, node.module, alias.name
+
+
+def decorator_parts(node: ast.expr) -> Tuple[str, ...]:
+    """Dotted-name parts of a decorator expression (``Call`` unwrapped).
+
+    ``@dataclasses.dataclass(frozen=True)`` -> ``("dataclasses",
+    "dataclass")``; unresolvable shapes return ``()``.
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.expr]:
+    """The ``@dataclass`` decorator of a class, if it has one."""
+    for deco in cls.decorator_list:
+        if decorator_parts(deco)[-1:] == ("dataclass",):
+            return deco
+    return None
+
+
+def dataclass_is_frozen(deco: ast.expr) -> bool:
+    """Whether a ``@dataclass`` decorator passes ``frozen=True``."""
+    if not isinstance(deco, ast.Call):
+        return False
+    for kw in deco.keywords:
+        if kw.arg == "frozen":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def dataclass_fields(cls: ast.ClassDef) -> Iterator[Tuple[str, ast.AnnAssign]]:
+    """The dataclass fields of a class body: annotated assignments whose
+    annotation is not ``ClassVar`` (bare ``name = value`` class attrs are
+    not fields)."""
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        ann = stmt.annotation
+        if isinstance(ann, ast.Subscript):
+            ann = ann.value
+        if decorator_parts(ann)[-1:] == ("ClassVar",):
+            continue
+        yield stmt.target.id, stmt
+
+
+def self_attribute_reads(node: ast.AST) -> Iterator[str]:
+    """Names read as ``self.<name>`` anywhere under ``node``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            yield sub.attr
+
+
+def class_methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    """Function definitions in a class body, by name."""
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }

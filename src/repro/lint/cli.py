@@ -1,0 +1,117 @@
+"""``python -m repro.lint`` — the command-line front end.
+
+Usage::
+
+    python -m repro.lint [paths...]            # default: src
+    python -m repro.lint --select frozen-config,no-wallclock src
+    python -m repro.lint --ignore no-mutable-default src tests
+    python -m repro.lint --format=json src     # machine-readable findings
+    python -m repro.lint --list-rules          # the rule catalogue
+
+Exit status: 0 clean, 1 findings, 2 usage error.  CI runs the tree-wide
+invocation as part of the fast lint gate (see ``.github/workflows/ci.yml``
+and ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import textwrap
+from typing import List, Optional, Sequence
+
+from repro.lint.registry import RULES, Rule, all_rules
+from repro.lint.runner import lint_paths
+
+
+def _split_names(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _resolve_rules(
+    select: Optional[List[str]], ignore: Optional[List[str]]
+) -> List[Rule]:
+    """Apply ``--select``/``--ignore`` to the registry, validating names."""
+    rules = all_rules()  # also populates RULES
+    known = set(RULES)
+    for names in (select or []), (ignore or []):
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            raise SystemExit(
+                f"error: unknown rule(s): {', '.join(unknown)}; "
+                f"known rules: {', '.join(sorted(known))}"
+            )
+    if select is not None:
+        rules = [r for r in rules if r.name in select]
+    if ignore is not None:
+        rules = [r for r in rules if r.name not in ignore]
+    return rules
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.name}: {rule.summary}")
+        lines.append(
+            textwrap.fill(
+                rule.rationale, width=76, initial_indent="    ",
+                subsequent_indent="    ",
+            )
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Determinism & invariant static analysis for the simulator "
+            "(see docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules = _resolve_rules(_split_names(args.select), _split_names(args.ignore))
+    findings = lint_paths(args.paths, rules=rules)
+
+    if args.format == "json":
+        print(json.dumps([d.to_dict() for d in findings], indent=2))
+    else:
+        for diag in findings:
+            print(diag.format())
+        if findings:
+            noun = "finding" if len(findings) == 1 else "findings"
+            print(f"{len(findings)} {noun}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

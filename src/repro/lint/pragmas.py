@@ -1,0 +1,63 @@
+"""The ``# repro: allow-<rule>`` escape hatch.
+
+Every rule encodes a *default*, not an absolute: some code legitimately
+crosses the line (the engine reads wall clocks to time jobs; a fixture
+deliberately violates a rule to test it).  Such sites carry an explicit,
+greppable pragma instead of being silently special-cased inside the
+analyzer — the exemption lives next to the code it excuses, survives
+refactors, and shows up in review diffs.
+
+Syntax — a comment containing ``repro:`` followed by one or more
+``allow-<rule>`` tokens (comma- or space-separated)::
+
+    t0 = time.monotonic()  # repro: allow-no-wallclock
+
+    # repro: allow-no-unseeded-random (calibration noise, not model state)
+    jitter = random.random()
+
+A pragma suppresses matching findings on its own line; a pragma on a
+*comment-only* line additionally covers the next line (for statements too
+long to share a line with their excuse).  ``allow-all`` suppresses every
+rule — reserved for generated files.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+#: ``repro:`` marker followed by the token list (rest of the comment).
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<tokens>.*)$")
+#: one ``allow-<rule>`` token.
+_ALLOW_RE = re.compile(r"allow-([A-Za-z0-9_-]+)")
+
+#: token that suppresses every rule on the line.
+ALLOW_ALL = "all"
+
+
+def parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the set of rule names allowed there.
+
+    A comment-only pragma line propagates its allowances to the following
+    line, so the pragma can sit above an over-long statement.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if not match:
+            continue
+        rules = {m.group(1) for m in _ALLOW_RE.finditer(match.group("tokens"))}
+        if not rules:
+            continue
+        allowed.setdefault(lineno, set()).update(rules)
+        if text.lstrip().startswith("#"):  # comment-only line: cover the next
+            allowed.setdefault(lineno + 1, set()).update(rules)
+    return allowed
+
+
+def is_allowed(allowed: Dict[int, Set[str]], line: int, rule: str) -> bool:
+    """Whether ``rule`` is suppressed at ``line`` by a pragma."""
+    at_line = allowed.get(line)
+    if not at_line:
+        return False
+    return rule in at_line or ALLOW_ALL in at_line

@@ -1,0 +1,28 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module defines one rule class decorated with
+:func:`repro.lint.registry.register`.  Add a new rule by dropping a module
+here, importing it below, and documenting it in
+``docs/static-analysis.md`` (the test suite cross-checks that every
+registered rule has a doc entry and a failing fixture).
+"""
+
+from repro.lint.rules import (  # noqa: F401  (side effect: registration)
+    cache_key,
+    dict_order,
+    frozen_config,
+    mutable_default,
+    pickle_boundary,
+    unseeded_random,
+    wallclock,
+)
+
+__all__ = [
+    "cache_key",
+    "dict_order",
+    "frozen_config",
+    "mutable_default",
+    "pickle_boundary",
+    "unseeded_random",
+    "wallclock",
+]

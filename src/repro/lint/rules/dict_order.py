@@ -1,0 +1,75 @@
+"""``no-dict-order-dependence``: sorted iteration over sets in model code."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileContext, Rule, register
+
+SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+
+def _set_expr_reason(node: ast.expr) -> Optional[str]:
+    """Why ``node`` evaluates to a set (None when it does not).
+
+    Syntactic only — a set held in a variable is not tracked.  Dict
+    iteration is *not* flagged: CPython dicts preserve insertion order,
+    which is deterministic when insertions are.
+    """
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in SET_CONSTRUCTORS:
+            return f"{func.id}(...) call"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        left = _set_expr_reason(node.left)
+        right = _set_expr_reason(node.right)
+        if left or right:
+            return "set-algebra expression"
+    return None
+
+
+@register
+class NoDictOrderDependence(Rule):
+    """Forbid direct iteration over set expressions in model code."""
+
+    name = "no-dict-order-dependence"
+    summary = "model code must sort before iterating a set expression"
+    rationale = (
+        "Set iteration order depends on element hashes; for strings it "
+        "varies with PYTHONHASHSEED, so a timing model that walks a set "
+        "(e.g. ready instructions, touched cache blocks) can produce "
+        "different — equally 'correct-looking' — cycle counts per process. "
+        "That breaks serial/parallel bit-identity, the skip-ahead "
+        "differential suite, and cache soundness at once. Wrap the "
+        "iterable in sorted(...) to pin a total order. (Dict iteration is "
+        "insertion-ordered in CPython and is not flagged.)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_model_scope:
+            return
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                reason = _set_expr_reason(it)
+                if reason is not None:
+                    yield ctx.diag(
+                        self.name,
+                        it,
+                        f"iteration over a {reason} has hash-dependent "
+                        "order in model code; wrap it in sorted(...)",
+                    )

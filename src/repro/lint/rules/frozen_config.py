@@ -1,0 +1,56 @@
+"""``frozen-config``: configuration and job-spec dataclasses are immutable."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import dataclass_decorator, dataclass_is_frozen
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileContext, Rule, register
+
+#: modules whose dataclasses *are* cache identity (or feed it): core and
+#: cache configs, job specs, fault plans, retry policies, job failures.
+#: Every dataclass defined in these modules must be ``frozen=True``.
+CONFIG_MODULES = frozenset(
+    {
+        "repro.uarch.config",
+        "repro.uarch.cache",
+        "repro.engine.jobs",
+        "repro.engine.executors",
+        "repro.engine.failures",
+        "repro.faults",
+    }
+)
+
+
+@register
+class FrozenConfig(Rule):
+    """Require ``frozen=True`` on dataclasses in config/spec modules."""
+
+    name = "frozen-config"
+    summary = "config and job-spec dataclasses must be @dataclass(frozen=True)"
+    rationale = (
+        "A job's cache key is computed from its fields once; if the object "
+        "can be mutated afterwards, the key no longer describes the job "
+        "that actually ran and the ResultStore silently serves the wrong "
+        "result. Freezing also makes specs hashable (the trace memo keys "
+        "on them) and safe to share across threads and worker processes."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.module not in CONFIG_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            deco = dataclass_decorator(node)
+            if deco is None:
+                continue
+            if not dataclass_is_frozen(deco):
+                yield ctx.diag(
+                    self.name,
+                    node,
+                    f"dataclass {node.name!r} in a config/spec module must "
+                    "be declared @dataclass(frozen=True)",
+                )

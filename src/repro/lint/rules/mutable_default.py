@@ -1,0 +1,74 @@
+"""``no-mutable-default``: no shared mutable default arguments."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileContext, Rule, register
+
+#: constructor names whose call as a default creates a fresh-but-shared
+#: mutable object.
+MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in MUTABLE_CALLS
+    return False
+
+
+@register
+class NoMutableDefault(Rule):
+    """Flag mutable default parameter values anywhere in the tree."""
+
+    name = "no-mutable-default"
+    summary = "no list/dict/set (or constructor-call) default arguments"
+    rationale = (
+        "A mutable default is evaluated once and shared by every call; "
+        "state then leaks between invocations — and in this codebase, "
+        "between *jobs*, which must be pure functions of their arguments "
+        "for cache keys and the serial/parallel bit-identity guarantee to "
+        "hold. Use None and construct inside the function (or "
+        "dataclasses.field(default_factory=...) for specs)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    where = (
+                        f"function {node.name!r}"
+                        if not isinstance(node, ast.Lambda)
+                        else "lambda"
+                    )
+                    yield ctx.diag(
+                        self.name,
+                        default,
+                        f"mutable default argument in {where} is shared "
+                        "across calls; default to None and build inside",
+                    )

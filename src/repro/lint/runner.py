@@ -1,0 +1,124 @@
+"""Walk files, parse, apply rules, filter pragmas.
+
+Three entry points, layered:
+
+* :func:`lint_source` — analyse one source string (the unit tests' door);
+* :func:`lint_file` — read + analyse one file;
+* :func:`lint_paths` — recurse over files and directories (the CLI's door).
+
+Module names are derived from file paths by locating the ``repro`` package
+directory, so scope-limited rules (model code, config modules) see the
+same dotted names whether the tree is linted from the repo root, from
+``src``, or from inside the package.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.pragmas import is_allowed, parse_pragmas
+from repro.lint.registry import FileContext, Rule, all_rules
+
+#: directories never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of ``path``, anchored at the ``repro`` package.
+
+    ``.../src/repro/uarch/core.py`` -> ``repro.uarch.core``.  Files outside
+    a ``repro`` directory fall back to their stem — scope-limited rules
+    then simply do not apply, while tree-wide rules still run.
+    """
+    parts = list(os.path.normpath(os.path.abspath(path)).split(os.sep))
+    stem = os.path.splitext(parts[-1])[0]
+    dirs = parts[:-1]
+    if "repro" in dirs:
+        anchor = len(dirs) - 1 - dirs[::-1].index("repro")
+        dotted = dirs[anchor:] + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+def lint_source(
+    source: str,
+    path: str = "<source>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Analyse one source string; the core every other entry point wraps.
+
+    ``module`` overrides path-derived scoping (tests lint synthetic
+    sources "as if" they lived at a given dotted path).  A syntax error
+    yields a single ``syntax-error`` pseudo-diagnostic rather than
+    raising, so one broken file cannot mask findings elsewhere.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="syntax-error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module=module if module is not None else module_name_for(path),
+    )
+    allowed = parse_pragmas(source)
+    findings: List[Diagnostic] = []
+    for rule in rules if rules is not None else all_rules():
+        for diag in rule.check(ctx):
+            if not is_allowed(allowed, diag.line, diag.rule):
+                findings.append(diag)
+    findings.sort(key=lambda d: (d.line, d.col, d.rule))
+    return findings
+
+
+def lint_file(
+    path: str, rules: Optional[Sequence[Rule]] = None
+) -> List[Diagnostic]:
+    """Read and analyse one file."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in SKIP_DIRS
+                )
+                out.extend(
+                    os.path.join(dirpath, name)
+                    for name in filenames
+                    if name.endswith(".py")
+                )
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Diagnostic]:
+    """Analyse every Python file under ``paths`` (files or directories)."""
+    if rules is None:
+        rules = all_rules()
+    findings: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings

@@ -5,11 +5,15 @@ same hybrid (bimodal + gshare with a chooser) by default; the simpler
 predictors remain available for ablations and tests.
 """
 
+from typing import Dict, Type, Union
+
+Predictor = Union["BimodalPredictor", "GsharePredictor", "HybridPredictor"]
+
 
 class BimodalPredictor:
     """Classic table of 2-bit saturating counters indexed by PC."""
 
-    def __init__(self, entries: int = 4096):
+    def __init__(self, entries: int = 4096) -> None:
         if entries < 1 or (entries & (entries - 1)):
             raise ValueError("entries must be a positive power of two")
         self._mask = entries - 1
@@ -33,7 +37,7 @@ class BimodalPredictor:
 class GsharePredictor:
     """Global-history predictor: PC xor history indexes 2-bit counters."""
 
-    def __init__(self, entries: int = 4096, history_bits: int = 10):
+    def __init__(self, entries: int = 4096, history_bits: int = 10) -> None:
         if entries < 1 or (entries & (entries - 1)):
             raise ValueError("entries must be a positive power of two")
         if history_bits < 1:
@@ -69,7 +73,7 @@ class HybridPredictor:
     disagree, as in the Alpha 21264 scheme.
     """
 
-    def __init__(self, entries: int = 4096, history_bits: int = 10):
+    def __init__(self, entries: int = 4096, history_bits: int = 10) -> None:
         self.bimodal = BimodalPredictor(entries)
         self.gshare = GsharePredictor(entries, history_bits)
         self._mask = entries - 1
@@ -97,14 +101,14 @@ class HybridPredictor:
         self.gshare.update(pc, taken)
 
 
-PREDICTORS = {
+PREDICTORS: Dict[str, Type[Predictor]] = {
     "bimodal": BimodalPredictor,
     "gshare": GsharePredictor,
     "hybrid": HybridPredictor,
 }
 
 
-def make_predictor(kind: str, entries: int = 4096):
+def make_predictor(kind: str, entries: int = 4096) -> Predictor:
     """Factory used by :class:`~repro.uarch.config.CoreConfig`."""
     try:
         cls = PREDICTORS[kind]

@@ -9,6 +9,7 @@ paper's analysis depends on.
 """
 
 from dataclasses import dataclass
+from typing import List, Optional
 
 
 @dataclass(frozen=True)
@@ -20,7 +21,7 @@ class CacheConfig:
     sets: int        # number of sets (power of two)
     latency: int     # access latency in core cycles
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.assoc < 1 or self.sets < 1 or self.latency < 1:
             raise ValueError("assoc, sets and latency must be >= 1")
         if self.block < 1 or (self.block & (self.block - 1)):
@@ -42,11 +43,11 @@ class Cache:
     are small enough that list operations are the fast path.
     """
 
-    def __init__(self, config: CacheConfig):
+    def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self._block_bits = config.block.bit_length() - 1
         self._set_mask = config.sets - 1
-        self._sets = [[] for _ in range(config.sets)]
+        self._sets: List[List[int]] = [[] for _ in range(config.sets)]
         self.hits = 0
         self.misses = 0
 
@@ -106,9 +107,9 @@ class CacheHierarchy:
         l1: CacheConfig,
         l2: CacheConfig,
         mem_latency: int,
-        shared_cache: "Cache" = None,
+        shared_cache: Optional["Cache"] = None,
         shared_latency: int = 0,
-    ):
+    ) -> None:
         if mem_latency < 1:
             raise ValueError("memory latency must be >= 1 cycle")
         if shared_cache is not None and shared_latency < 1:

@@ -62,7 +62,7 @@ class CoreConfig:
     #: do.
     mshrs: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.clock_period_ns <= 0:
             raise ValueError("clock period must be positive")
         if self.width < 1:

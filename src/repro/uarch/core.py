@@ -30,11 +30,11 @@ Contesting hooks: a ``contest`` adapter (duck-typed; implemented by
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.isa.trace import Trace
 from repro.uarch.branch import make_predictor
-from repro.uarch.cache import CacheHierarchy
+from repro.uarch.cache import Cache, CacheHierarchy
 from repro.uarch.config import CoreConfig
 
 # Plain-int op classes for the hot loop (must mirror repro.isa.OpClass).
@@ -79,7 +79,7 @@ class _Rec:
         "syscall_charged",
     )
 
-    def __init__(self, seq: int, op: int, is_mem: bool, produces: bool):
+    def __init__(self, seq: int, op: int, is_mem: bool, produces: bool) -> None:
         self.seq = seq
         self.op = op
         self.is_mem = is_mem
@@ -143,12 +143,14 @@ class Core:
         config: CoreConfig,
         trace: Trace,
         core_id: int = 0,
-        contest=None,
+        # the owning ContestingSystem (annotated loosely: repro.core
+        # imports this module, so naming the class here would be circular)
+        contest: Optional[Any] = None,
         region_size: int = 0,
         prewarm: bool = True,
-        shared_cache=None,
+        shared_cache: Optional[Cache] = None,
         shared_latency: int = 0,
-    ):
+    ) -> None:
         self.config = config
         self.trace = trace
         self.core_id = core_id
@@ -469,7 +471,7 @@ class Core:
 
     # --- commit --------------------------------------------------------
 
-    def _commit(self, cycle: int, contest) -> None:
+    def _commit(self, cycle: int, contest: Optional[Any]) -> None:
         if self._commit_stall_until > cycle:
             return
         budget = self._width
@@ -656,7 +658,7 @@ class Core:
 
     # --- fetch -------------------------------------------------------------
 
-    def _fetch(self, cycle: int, contest) -> None:
+    def _fetch(self, cycle: int, contest: Optional[Any]) -> None:
         if self._fetch_stalled or self._syscall_stall:
             self.stats.fetch_stall_cycles += 1
             return

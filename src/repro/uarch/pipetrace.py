@@ -106,7 +106,7 @@ class TracingCore:
     differential suite).
     """
 
-    def __init__(self, core: Core, limit: int = 4096):
+    def __init__(self, core: Core, limit: int = 4096) -> None:
         self.core = core
         self.trace = PipeTrace()
         self._limit = limit

@@ -7,7 +7,10 @@ and two components never share a stream by accident.
 
 import hashlib
 import random
+from random import Random
 from typing import Union
+
+__all__ = ["Random", "SeedSequence", "substream"]
 
 _SeedLike = Union[int, str]
 
@@ -32,7 +35,7 @@ class SeedSequence:
     True
     """
 
-    def __init__(self, root_seed: _SeedLike = 0):
+    def __init__(self, root_seed: _SeedLike = 0) -> None:
         self.root_seed = root_seed
 
     def stream(self, *names: _SeedLike) -> random.Random:

@@ -1,0 +1,29 @@
+"""Every registered rule is documented and self-describing."""
+
+from pathlib import Path
+
+from repro.lint import all_rules
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "static-analysis.md"
+
+
+def test_every_rule_has_summary_and_rationale():
+    rules = all_rules()
+    assert len(rules) >= 7
+    for rule in rules:
+        assert rule.name, rule
+        assert rule.summary, rule.name
+        assert len(rule.rationale) > 40, rule.name
+
+
+def test_every_rule_is_documented():
+    text = DOC.read_text(encoding="utf-8")
+    for rule in all_rules():
+        assert f"`{rule.name}`" in text, (
+            f"rule {rule.name!r} missing from docs/static-analysis.md"
+        )
+
+
+def test_doc_mentions_the_pragma_escape_hatch():
+    text = DOC.read_text(encoding="utf-8")
+    assert "repro: allow-" in text

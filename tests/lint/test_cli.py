@@ -1,0 +1,90 @@
+"""The ``python -m repro.lint`` front end and the clean-tree gate."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = "def collect(samples=[]):\n    return samples\n"
+
+
+def run_cli(*argv, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=cwd or REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_clean_tree_exits_zero():
+    # the acceptance gate: the shipped source passes its own analyzer
+    proc = run_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_findings_exit_one_with_text_report(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    proc = run_cli(str(bad))
+    assert proc.returncode == 1
+    assert "no-mutable-default" in proc.stdout
+    assert f"{bad}:1:" in proc.stdout
+
+
+def test_json_format_is_machine_readable(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    proc = run_cli("--format=json", str(bad))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload and payload[0]["rule"] == "no-mutable-default"
+    assert payload[0]["line"] == 1
+    assert payload[0]["path"] == str(bad)
+
+
+def test_select_restricts_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    proc = run_cli("--select", "no-wallclock", str(bad))
+    assert proc.returncode == 0
+
+
+def test_ignore_drops_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    proc = run_cli("--ignore", "no-mutable-default", str(bad))
+    assert proc.returncode == 0
+
+
+def test_unknown_rule_is_a_usage_error():
+    with pytest.raises(SystemExit):
+        main(["--select", "no-such-rule", "src"])
+
+
+def test_list_rules_prints_catalogue():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule in (
+        "no-wallclock",
+        "no-unseeded-random",
+        "frozen-config",
+        "cache-key-completeness",
+        "pickle-boundary",
+        "no-mutable-default",
+        "no-dict-order-dependence",
+    ):
+        assert rule in proc.stdout

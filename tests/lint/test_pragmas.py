@@ -1,0 +1,70 @@
+"""The ``# repro: allow-<rule>`` escape hatch."""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.pragmas import parse_pragmas
+
+SUPPRESSED_SAME_LINE = textwrap.dedent(
+    """
+    from time import monotonic  # repro: allow-no-wallclock
+
+    def stamp():
+        return monotonic()  # repro: allow-no-wallclock
+    """
+)
+
+SUPPRESSED_LINE_ABOVE = textwrap.dedent(
+    """
+    # repro: allow-no-mutable-default (fixture: shared accumulator on purpose)
+    def collect(samples=[]):
+        return samples
+    """
+)
+
+WRONG_RULE_PRAGMA = textwrap.dedent(
+    """
+    def collect(samples=[]):  # repro: allow-no-wallclock
+        return samples
+    """
+)
+
+ALLOW_ALL = textwrap.dedent(
+    """
+    def collect(samples=[]):  # repro: allow-all
+        return samples
+    """
+)
+
+
+def test_same_line_pragma_suppresses():
+    assert lint_source(SUPPRESSED_SAME_LINE, module="repro.uarch.run") == []
+
+
+def test_comment_line_above_covers_next_line():
+    assert lint_source(SUPPRESSED_LINE_ABOVE, module="repro.uarch.run") == []
+
+
+def test_pragma_for_a_different_rule_does_not_suppress():
+    diags = lint_source(WRONG_RULE_PRAGMA, module="repro.uarch.run")
+    assert [d.rule for d in diags] == ["no-mutable-default"]
+
+
+def test_allow_all_suppresses_everything():
+    assert lint_source(ALLOW_ALL, module="repro.uarch.run") == []
+
+
+def test_parse_pragmas_shapes():
+    allowed = parse_pragmas(
+        "x = 1  # repro: allow-no-wallclock, allow-frozen-config\n"
+        "# repro: allow-no-mutable-default\n"
+        "y = 2\n"
+    )
+    assert allowed[1] == {"no-wallclock", "frozen-config"}
+    # comment-only pragma covers its own line and the next
+    assert allowed[2] == {"no-mutable-default"}
+    assert allowed[3] == {"no-mutable-default"}
+
+
+def test_plain_comments_are_not_pragmas():
+    assert parse_pragmas("x = 1  # repro is deterministic\n") == {}

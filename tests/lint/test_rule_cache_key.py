@@ -1,0 +1,96 @@
+"""cache-key-completeness: every spec field must feed the cache key."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+BAD_ESCAPED_FIELD = textwrap.dedent(
+    """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class ContestJob:
+        trace: str
+        max_lag: int = 0
+        sat_grace_ns: float = 400.0
+
+        def cache_key(self):
+            return hash((self.trace, self.max_lag))
+    """
+)
+
+OK_ALL_FIELDS = textwrap.dedent(
+    """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class ContestJob:
+        trace: str
+        max_lag: int = 0
+
+        def cache_key(self):
+            return hash((self.trace, self.max_lag))
+    """
+)
+
+OK_ASTUPLE = textwrap.dedent(
+    """
+    import dataclasses
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class CoreConfig:
+        width: int
+        rob_size: int
+
+        def fingerprint(self):
+            return dataclasses.astuple(self)
+    """
+)
+
+OK_CLASSVAR_SKIPPED = textwrap.dedent(
+    """
+    from dataclasses import dataclass
+    from typing import ClassVar
+
+    @dataclass(frozen=True)
+    class Job:
+        seed: int
+        kind: ClassVar[str] = "job"
+
+        def cache_key(self):
+            return str(self.seed)
+    """
+)
+
+
+def findings(source, module="repro.engine.jobs"):
+    return [
+        d for d in lint_source(source, module=module)
+        if d.rule == "cache-key-completeness"
+    ]
+
+
+def test_fires_on_field_missing_from_cache_key():
+    fired = findings(BAD_ESCAPED_FIELD)
+    assert len(fired) == 1
+    assert "sat_grace_ns" in fired[0].message
+    # anchored at the escaping field, not the class header
+    assert fired[0].line == 8
+
+
+def test_clean_when_every_field_participates():
+    assert findings(OK_ALL_FIELDS) == []
+
+
+def test_astuple_covers_all_fields():
+    assert findings(OK_ASTUPLE, module="repro.uarch.config") == []
+
+
+def test_classvar_attrs_are_not_fields():
+    assert findings(OK_CLASSVAR_SKIPPED) == []
+
+
+def test_applies_tree_wide():
+    # a job spec living in any module is still checked
+    assert findings(BAD_ESCAPED_FIELD, module="repro.experiments.common")

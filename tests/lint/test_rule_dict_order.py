@@ -1,0 +1,78 @@
+"""no-dict-order-dependence: sorted iteration over sets in model code."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+BAD_SET_CALL = textwrap.dedent(
+    """
+    def flush(blocks):
+        for block in set(blocks):
+            touch(block)
+    """
+)
+
+BAD_SET_COMP = textwrap.dedent(
+    """
+    def pending(instrs):
+        return [i for i in {x.seq for x in instrs}]
+    """
+)
+
+BAD_SET_ALGEBRA = textwrap.dedent(
+    """
+    def drain(ready, done):
+        for seq in set(ready) - set(done):
+            retire(seq)
+    """
+)
+
+OK_SORTED = textwrap.dedent(
+    """
+    def flush(blocks):
+        for block in sorted(set(blocks)):
+            touch(block)
+    """
+)
+
+OK_DICT_ITERATION = textwrap.dedent(
+    """
+    def walk(table):
+        for key, value in table.items():
+            touch(key, value)
+    """
+)
+
+
+def findings(source, module="repro.uarch.cache"):
+    return [
+        d for d in lint_source(source, module=module)
+        if d.rule == "no-dict-order-dependence"
+    ]
+
+
+def test_fires_on_set_call_iteration():
+    assert findings(BAD_SET_CALL)
+
+
+def test_fires_on_set_comprehension_iteration():
+    assert findings(BAD_SET_COMP)
+
+
+def test_fires_on_set_algebra_iteration():
+    assert findings(BAD_SET_ALGEBRA)
+
+
+def test_sorted_wrapper_is_clean():
+    assert findings(OK_SORTED) == []
+
+
+def test_dict_iteration_is_clean():
+    # CPython dicts preserve insertion order; only sets are hash-ordered
+    assert findings(OK_DICT_ITERATION) == []
+
+
+def test_silent_outside_model_scope():
+    # analysis/experiment code may aggregate over sets (order-insensitive
+    # reductions); the determinism risk is in the timing models
+    assert findings(BAD_SET_CALL, module="repro.experiments.common") == []

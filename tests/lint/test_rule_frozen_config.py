@@ -1,0 +1,72 @@
+"""frozen-config: config/spec dataclasses must be frozen=True."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+BAD_UNFROZEN = textwrap.dedent(
+    """
+    from dataclasses import dataclass
+
+    @dataclass
+    class CoreConfig:
+        width: int = 4
+    """
+)
+
+BAD_EXPLICIT_FALSE = textwrap.dedent(
+    """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=False)
+    class SpecJob:
+        seed: int = 0
+    """
+)
+
+OK_FROZEN = textwrap.dedent(
+    """
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class CoreConfig:
+        width: int = 4
+    """
+)
+
+OK_PLAIN_CLASS = textwrap.dedent(
+    """
+    class Helper:
+        pass
+    """
+)
+
+
+def rules_fired(source, module):
+    return [d.rule for d in lint_source(source, module=module)]
+
+
+def test_fires_on_unfrozen_dataclass_in_config_module():
+    diags = lint_source(BAD_UNFROZEN, module="repro.uarch.config")
+    assert any(d.rule == "frozen-config" for d in diags)
+
+
+def test_fires_on_explicit_frozen_false_in_jobs_module():
+    assert "frozen-config" in rules_fired(BAD_EXPLICIT_FALSE, "repro.engine.jobs")
+
+
+def test_fires_in_faults_module():
+    assert "frozen-config" in rules_fired(BAD_UNFROZEN, "repro.faults")
+
+
+def test_frozen_dataclass_is_clean():
+    assert "frozen-config" not in rules_fired(OK_FROZEN, "repro.uarch.config")
+
+
+def test_plain_class_is_clean():
+    assert rules_fired(OK_PLAIN_CLASS, "repro.uarch.config") == []
+
+
+def test_silent_outside_config_modules():
+    # mutable runtime state (core pipeline registers etc.) is fine
+    assert "frozen-config" not in rules_fired(BAD_UNFROZEN, "repro.uarch.core")

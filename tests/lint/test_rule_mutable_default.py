@@ -1,0 +1,75 @@
+"""no-mutable-default: no shared mutable default arguments."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+BAD_LIST_DEFAULT = textwrap.dedent(
+    """
+    def collect(samples=[]):
+        samples.append(1)
+        return samples
+    """
+)
+
+BAD_DICT_CALL_DEFAULT = textwrap.dedent(
+    """
+    def tally(counts=dict()):
+        return counts
+    """
+)
+
+BAD_KWONLY_SET = textwrap.dedent(
+    """
+    def unique(*, seen={1, 2}):
+        return seen
+    """
+)
+
+OK_NONE_DEFAULT = textwrap.dedent(
+    """
+    def collect(samples=None):
+        if samples is None:
+            samples = []
+        return samples
+    """
+)
+
+OK_TUPLE_DEFAULT = textwrap.dedent(
+    """
+    def span(bounds=(0, 1)):
+        return bounds
+    """
+)
+
+
+def findings(source, module="repro.engine.engine"):
+    return [
+        d for d in lint_source(source, module=module)
+        if d.rule == "no-mutable-default"
+    ]
+
+
+def test_fires_on_list_literal_default():
+    assert findings(BAD_LIST_DEFAULT)
+
+
+def test_fires_on_constructor_call_default():
+    assert findings(BAD_DICT_CALL_DEFAULT)
+
+
+def test_fires_on_kwonly_set_default():
+    assert findings(BAD_KWONLY_SET)
+
+
+def test_none_sentinel_is_clean():
+    assert findings(OK_NONE_DEFAULT) == []
+
+
+def test_immutable_tuple_default_is_clean():
+    assert findings(OK_TUPLE_DEFAULT) == []
+
+
+def test_applies_tree_wide():
+    assert findings(BAD_LIST_DEFAULT, module="repro.uarch.core")
+    assert findings(BAD_LIST_DEFAULT, module="util_helpers")

@@ -1,0 +1,89 @@
+"""no-unseeded-random: repro.util.rng is the sole sanctioned entry point."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+BAD_MODEL_IMPORT = textwrap.dedent(
+    """
+    import random
+
+    def jitter():
+        return random.random()
+    """
+)
+
+BAD_GLOBAL_STREAM = textwrap.dedent(
+    """
+    import random
+
+    def pick(items):
+        return random.choice(items)
+    """
+)
+
+BAD_UNSEEDED_INSTANCE = textwrap.dedent(
+    """
+    import random
+
+    def make_rng():
+        return random.Random()
+    """
+)
+
+OK_SEEDED_INSTANCE = textwrap.dedent(
+    """
+    import random
+
+    def make_rng(seed):
+        return random.Random(seed)
+    """
+)
+
+OK_SUBSTREAM = textwrap.dedent(
+    """
+    from repro.util.rng import substream
+
+    def make_rng(seed):
+        return substream(seed, "annealing", "moves")
+    """
+)
+
+
+def rules_fired(source, module):
+    return [d.rule for d in lint_source(source, module=module)]
+
+
+def test_model_code_may_not_import_random_at_all():
+    diags = lint_source(BAD_MODEL_IMPORT, module="repro.uarch.branch")
+    fired = [d for d in diags if d.rule == "no-unseeded-random"]
+    assert fired
+    assert any("repro.util.rng" in d.message for d in fired)
+
+
+def test_global_stream_banned_everywhere():
+    # even outside model scope, random.choice() mutates process state
+    assert "no-unseeded-random" in rules_fired(
+        BAD_GLOBAL_STREAM, "repro.explore.annealing"
+    )
+
+
+def test_unseeded_random_instance_banned_everywhere():
+    assert "no-unseeded-random" in rules_fired(
+        BAD_UNSEEDED_INSTANCE, "repro.engine.executors"
+    )
+
+
+def test_seeded_instance_allowed_outside_model_scope():
+    assert "no-unseeded-random" not in rules_fired(
+        OK_SEEDED_INSTANCE, "repro.engine.executors"
+    )
+
+
+def test_sanctioned_wrapper_is_exempt():
+    # the wrapper itself must be able to import random
+    assert rules_fired("import random\n", "repro.util.rng") == []
+
+
+def test_substream_usage_is_clean():
+    assert rules_fired(OK_SUBSTREAM, "repro.explore.annealing") == []

@@ -1,0 +1,73 @@
+"""no-wallclock: host-clock reads are banned from timing-model code."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+BAD_IMPORT_AND_CALL = textwrap.dedent(
+    """
+    import time
+
+    def step(self):
+        return time.perf_counter()
+    """
+)
+
+BAD_FROM_IMPORT = textwrap.dedent(
+    """
+    from time import monotonic
+
+    def stamp():
+        return monotonic()
+    """
+)
+
+BAD_DATETIME = textwrap.dedent(
+    """
+    import datetime
+
+    def stamp():
+        return datetime.datetime.now()
+    """
+)
+
+CLEAN_MODEL = textwrap.dedent(
+    """
+    def step(clock_ps, period_ps):
+        return clock_ps + period_ps
+    """
+)
+
+
+def rules_fired(source, module):
+    return [d.rule for d in lint_source(source, module=module)]
+
+
+def test_fires_on_wallclock_call_in_model_code():
+    diags = lint_source(BAD_IMPORT_AND_CALL, module="repro.uarch.core")
+    assert any(d.rule == "no-wallclock" for d in diags)
+    # the finding points at the call site
+    assert any("perf_counter" in d.message for d in diags)
+
+
+def test_fires_on_from_import():
+    assert "no-wallclock" in rules_fired(BAD_FROM_IMPORT, "repro.core.system")
+
+
+def test_fires_on_datetime_now():
+    assert "no-wallclock" in rules_fired(BAD_DATETIME, "repro.isa.generator")
+
+
+def test_fires_in_faults_module():
+    assert "no-wallclock" in rules_fired(BAD_IMPORT_AND_CALL, "repro.faults")
+
+
+def test_silent_outside_model_scope():
+    # the engine times jobs for reporting; that is sanctioned
+    assert "no-wallclock" not in rules_fired(
+        BAD_IMPORT_AND_CALL, "repro.engine.executors"
+    )
+
+
+def test_clean_model_code_passes():
+    assert rules_fired(CLEAN_MODEL, "repro.uarch.core") == []

@@ -1,0 +1,47 @@
+"""Runner plumbing: module naming, file walking, syntax-error handling."""
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.runner import iter_python_files, module_name_for
+
+
+def test_module_name_anchors_at_repro_package():
+    assert module_name_for("src/repro/uarch/core.py") == "repro.uarch.core"
+    assert module_name_for("src/repro/faults.py") == "repro.faults"
+    assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+
+def test_module_name_fallback_outside_package():
+    assert module_name_for("/tmp/scratch/helper.py") == "helper"
+
+
+def test_syntax_error_becomes_diagnostic():
+    diags = lint_source("def broken(:\n", path="bad.py")
+    assert [d.rule for d in diags] == ["syntax-error"]
+
+
+def test_iter_python_files_skips_caches(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("")
+    (tmp_path / "notes.txt").write_text("not python")
+    found = iter_python_files([str(tmp_path)])
+    assert found == [str(tmp_path / "pkg" / "a.py")]
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "bad.py").write_text("def f(x=[]):\n    return x\n")
+    (tmp_path / "good.py").write_text("def f(x=None):\n    return x\n")
+    diags = lint_paths([str(tmp_path)])
+    assert [d.rule for d in diags] == ["no-mutable-default"]
+
+
+def test_findings_are_ordered_within_a_file():
+    source = (
+        "def b(y={}):\n"
+        "    return y\n"
+        "def a(x=[]):\n"
+        "    return x\n"
+    )
+    diags = lint_source(source, module="repro.engine.engine")
+    assert [d.line for d in diags] == sorted(d.line for d in diags)
