@@ -112,3 +112,42 @@ def oracle_switching_curve(
         points.append((base * factor, pair, speedup))
         factor *= 2
     return OracleCurve(benchmark=benchmark, own_config=benchmark, points=points)
+
+
+def lead_changes_from_events(events: Sequence[object]) -> int:
+    """Count lead changes in a telemetry event stream, validating it.
+
+    Accepts any sequence of objects with ``name`` and ``args`` attributes
+    (duck-typed so this analysis layer needs no telemetry import —
+    :class:`repro.telemetry.TraceEvent` instances in practice).  Only
+    ``lead_change`` events are considered.  The handoff chain must be
+    consistent: each change's ``from`` core equals the previous change's
+    ``to`` core, and no change hands the lead to its current holder.
+    Raises ``ValueError`` on an inconsistent stream.
+
+    The returned count always equals both the tracer's
+    ``contest.lead_changes`` counter and
+    ``ContestResult.lead_changes`` (property-tested in
+    ``tests/telemetry``) — the parity that makes the event stream a
+    trustworthy source for switching analyses.
+    """
+    count = 0
+    holder: object = None
+    for event in events:
+        if getattr(event, "name", None) != "lead_change":
+            continue
+        args = event.args  # type: ignore[attr-defined]
+        src, dst = args["from"], args["to"]
+        if src == dst:
+            raise ValueError(
+                f"lead_change #{count} hands the lead to its holder "
+                f"(core {src!r})"
+            )
+        if holder is not None and src != holder:
+            raise ValueError(
+                f"lead_change #{count} claims the lead moved from core "
+                f"{src!r} but core {holder!r} held it"
+            )
+        holder = dst
+        count += 1
+    return count

@@ -21,15 +21,17 @@ simulated — replays from cache; pass ``--no-cache`` to force a fresh run.
 import argparse
 from typing import List, Optional
 
+from repro.core.system import ContestingSystem
 from repro.engine import ContestJob, ResultStore, SimEngine, StandaloneJob
 from repro.engine import TraceSpec
-from repro.engine.jobs import TraceLike
+from repro.engine.jobs import TraceLike, resolve_trace
 from repro.isa.generator import generate_trace
 from repro.isa.trace import Trace
 from repro.isa.serialize import load_trace, save_trace
 from repro.isa.stats import characterize
 from repro.isa.workloads import BENCHMARKS, workload_profile
 from repro.uarch.config import APPENDIX_A_CORES, core_config
+from repro.uarch.run import run_standalone
 from repro.util.tables import format_table
 
 
@@ -121,6 +123,25 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
         help="result store location (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro)",
     )
+    telemetry = parser.add_argument_group(
+        "telemetry (see docs/observability.md)"
+    )
+    telemetry.add_argument(
+        "--trace", default=None, metavar="FILE", dest="trace_out",
+        help="write a Chrome trace_event JSON of the run (load in "
+             "https://ui.perfetto.dev or chrome://tracing); forces a "
+             "fresh simulation (never served from cache)",
+    )
+    telemetry.add_argument(
+        "--metrics", default=None, metavar="FILE", dest="metrics_out",
+        help="write a JSONL metrics snapshot of the run (typed registry "
+             "stats with units and docs); forces a fresh simulation",
+    )
+    telemetry.add_argument(
+        "--trace-detail", choices=("sampled", "full"), default="sampled",
+        help="'full' records every individual GRB transfer as an event "
+             "(large files); 'sampled' (default) aggregates them",
+    )
     args = parser.parse_args(argv)
 
     cores = args.core or [
@@ -131,6 +152,12 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
     engine = SimEngine(
         store=None if args.no_cache else ResultStore(args.cache_dir)
     )
+    tracer = None
+    if args.trace_out or args.metrics_out:
+        # telemetry must observe the run live, so never replay from cache
+        from repro.telemetry import Tracer
+
+        tracer = Tracer(detail=args.trace_detail)
 
     if len(configs) == 1:
         if (
@@ -139,7 +166,12 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
         ):
             parser.error("fault injection requires a contested run "
                          "(two or more --core)")
-        result = engine.run(StandaloneJob(configs[0], trace_ref))
+        if tracer is not None:
+            result = run_standalone(
+                configs[0], resolve_trace(trace_ref), tracer=tracer
+            )
+        else:
+            result = engine.run(StandaloneJob(configs[0], trace_ref))
         print(
             f"{result.trace_name} on {configs[0].name}: {result.ipt:.3f} IPT "
             f"({result.ipc:.2f} IPC, {result.cycles} cycles, "
@@ -170,12 +202,21 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
                 kill_core=args.kill_core,
                 kill_at_commit=args.kill_at,
             )
-        result = engine.run(ContestJob(
-            configs=tuple(configs), trace=trace_ref,
-            grb_latency_ns=args.latency_ns,
-            lagger_policy=args.lagger_policy,
-            faults=faults,
-        ))
+        if tracer is not None:
+            result = ContestingSystem(
+                configs, resolve_trace(trace_ref),
+                grb_latency_ns=args.latency_ns,
+                lagger_policy=args.lagger_policy,
+                faults=faults,
+                tracer=tracer,
+            ).run()
+        else:
+            result = engine.run(ContestJob(
+                configs=tuple(configs), trace=trace_ref,
+                grb_latency_ns=args.latency_ns,
+                lagger_policy=args.lagger_policy,
+                faults=faults,
+            ))
         print(
             f"{result.trace_name} contested on {'+'.join(cores)}: "
             f"{result.ipt:.3f} IPT (winner {result.winner}, "
@@ -188,6 +229,24 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
                 f"injected {stats.injected}, "
                 f"early-resolved {stats.early_resolved}"
             )
+    if tracer is not None:
+        from repro.telemetry import metrics_snapshot, write_chrome_trace
+        from repro.telemetry import write_metrics_jsonl
+
+        if args.trace_out:
+            path = write_chrome_trace(args.trace_out, tracer)
+            print(f"wrote Chrome trace to {path} "
+                  f"({len(tracer.events)} events; open in Perfetto)")
+        if args.metrics_out:
+            path = write_metrics_jsonl(args.metrics_out, [metrics_snapshot(
+                tracer.registry,
+                meta={
+                    "workload": args.workload, "cores": cores,
+                    "length": args.length, "seed": args.seed,
+                },
+            )])
+            print(f"wrote metrics snapshot to {path} "
+                  f"({len(tracer.registry)} stats)")
     return 0
 
 

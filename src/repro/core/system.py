@@ -82,6 +82,44 @@ class ResultFifo:
 
 
 @dataclass
+class FaultStats:
+    """Diagnostics of one fault-injected run, one typed field per kind.
+
+    Counters count fault *actions applied* (a dropped transfer, a stalled
+    cycle, ...); the lists name the cores a kill or standalone flip hit.
+    All fields stay at their zero values unless a
+    :class:`repro.faults.FaultPlan` is installed.
+    """
+
+    #: GRB transfers whose payload was lost in flight
+    dropped: int = 0
+    #: GRB transfers whose payload was garbled in flight
+    corrupted: int = 0
+    #: GRB transfers that arrived late by the plan's ``delay_ns``
+    delayed: int = 0
+    #: garbled payloads a trailing core actually consumed (each triggers
+    #: a detection + re-fork recovery)
+    corrupt_consumed: int = 0
+    #: corruption recoveries performed (resync of the victim)
+    recoveries: int = 0
+    #: cycles burned inside fault-injected stall windows
+    stalled_cycles: int = 0
+    #: config names of cores removed by a kill fault
+    killed: List[str] = field(default_factory=list)
+    #: config names of cores flipped to standalone execution
+    flipped: List[str] = field(default_factory=list)
+
+    @property
+    def any_faults(self) -> bool:
+        """True when any fault action was applied during the run."""
+        return bool(
+            self.dropped or self.corrupted or self.delayed
+            or self.corrupt_consumed or self.recoveries
+            or self.stalled_cycles or self.killed or self.flipped
+        )
+
+
+@dataclass
 class ContestResult:
     """Outcome of one contested execution."""
 
@@ -154,6 +192,12 @@ class ContestingSystem:
         every cross-core interaction — is preserved exactly; results are
         byte-identical to cycle stepping (pinned by
         ``tests/differential``).
+    tracer:
+        Optional :class:`repro.telemetry.Tracer` observing the run: lead
+        changes, GRB transfers, skip-ahead jumps, faults, saturations and
+        re-forks, with simulated timestamps.  ``None`` (default) takes no
+        telemetry path anywhere; results are bit-identical either way
+        (pinned by ``tests/differential/test_telemetry.py``).
     """
 
     def __init__(
@@ -172,6 +216,9 @@ class ContestingSystem:
         shared_l3_latency_ns: float = 4.0,
         faults: Optional[FaultPlan] = None,
         skip_ahead: bool = True,
+        # a repro.telemetry.Tracer (annotated loosely: telemetry is an
+        # observer layer and the model must not depend on it)
+        tracer: Optional[Any] = None,
     ) -> None:
         if len(configs) < 2:
             raise ValueError("contesting requires at least two cores")
@@ -208,6 +255,7 @@ class ContestingSystem:
         self.shared_l3: Optional[Cache] = None
         if shared_l3 is not None:
             self.shared_l3 = Cache(shared_l3)
+        self.tracer = tracer
         self.cores: List[Core] = [
             Core(
                 cfg, trace, core_id=i, contest=self, prewarm=prewarm,
@@ -217,9 +265,12 @@ class ContestingSystem:
                     if self.shared_l3 is not None
                     else 0
                 ),
+                tracer=tracer,
             )
             for i, cfg in enumerate(configs)
         ]
+        if tracer is not None:
+            tracer.set_initial_leader(self.cores[0].core_id)
         self._active: List[Core] = list(self.cores)
         #: fifos[receiver_id] -> list of ResultFifo (one per other core)
         self.fifos: Dict[int, List[ResultFifo]] = {
@@ -273,11 +324,7 @@ class ContestingSystem:
         self._fault_flipped = False
         self._pending_corruption: Optional[Core] = None
         #: fault diagnostics (populated only when a plan is installed)
-        self.fault_stats: Dict[str, object] = {
-            "dropped": 0, "corrupted": 0, "delayed": 0,
-            "corrupt_consumed": 0, "recoveries": 0, "stalled_cycles": 0,
-            "killed": [], "flipped": [],
-        }
+        self.fault_stats = FaultStats()
 
     # ------------------------------------------------------------------
     # adapter interface (called from Core)
@@ -346,7 +393,7 @@ class ContestingSystem:
                         # The garbled value is consumed, then caught by
                         # the checking machinery: the receiver recovers
                         # via the existing resync path after this step.
-                        self.fault_stats["corrupt_consumed"] += 1
+                        self.fault_stats.corrupt_consumed += 1
                         self._pending_corruption = core
                         return False
                 fifo.popped_paired += 1
@@ -358,11 +405,18 @@ class ContestingSystem:
         arrival = now_ps + self.latency_ps
         sender = core.core_id
         xfer_faults = self._xfer_faults
+        tracer = self.tracer
         if xfer_faults is None:
             for receiver in self._active:
                 if receiver is core or not receiver.contesting_enabled:
                     continue
-                self._fifo_index[receiver.core_id][sender].push(arrival)
+                fifo = self._fifo_index[receiver.core_id][sender]
+                fifo.push(arrival)
+                if tracer is not None:
+                    tracer.grb_transfer(
+                        now_ps, sender, receiver.core_id, seq,
+                        len(fifo.arrivals),
+                    )
         else:
             stats = self.fault_stats
             for receiver in self._active:
@@ -375,7 +429,7 @@ class ContestingSystem:
                 if flag == XFER_OK:
                     fifo.push(arrival)
                 elif flag == XFER_DELAY:
-                    stats["delayed"] += 1
+                    stats.delayed += 1
                     fifo.push(arrival + self._fault_delay_ps)
                 else:
                     # the entry still occupies its FIFO slot (sequence
@@ -384,12 +438,25 @@ class ContestingSystem:
                     if fifo.faulted is None:
                         fifo.faulted = {}
                     fifo.faulted[seq] = flag
-                    stats["dropped" if flag == XFER_DROP else "corrupted"] += 1
+                    if flag == XFER_DROP:
+                        stats.dropped += 1
+                    else:
+                        stats.corrupted += 1
                     fifo.push(arrival)
+                if tracer is not None:
+                    tracer.grb_transfer(
+                        now_ps, sender, receiver.core_id, seq,
+                        len(fifo.arrivals), fate=flag,
+                    )
         # Emergent-leadership bookkeeping (diagnostics only).
         if core is not self._leader and core.commit_count > self._leader.commit_count:
+            prev = self._leader
             self._leader = core
             self.lead_changes += 1
+            if tracer is not None:
+                tracer.lead_change(now_ps, prev.core_id, core.core_id, seq)
+                for c in self._active:
+                    tracer.rob_occupancy(now_ps, c.core_id, c.rob_occupancy)
 
     def store_commit_ok(self, core: Core, seq: int) -> bool:
         """Whether the synchronizing store queue admits the next store."""
@@ -427,6 +494,8 @@ class ContestingSystem:
         if self.lagger_policy == "resync":
             self._resync(core)
             return
+        if self.tracer is not None:
+            self.tracer.saturated(core.time_ps, core.core_id, core.config.name)
         self._remove_core(core)
 
     def _remove_core(self, core: Core) -> None:
@@ -461,6 +530,8 @@ class ContestingSystem:
         self._write_merged_to_shared()
         self._over_since[core.core_id] = None
         self.resyncs += 1
+        if self.tracer is not None:
+            self.tracer.resync(core.time_ps, core.core_id, target)
 
     # ------------------------------------------------------------------
     # fault orchestration (every path below requires an installed plan)
@@ -480,8 +551,12 @@ class ContestingSystem:
             and core.commit_count >= faults.kill_at_commit
         ):
             self._fault_killed = True
+            if self.tracer is not None:
+                self.tracer.fault(
+                    core.time_ps, cid, "kill", core.config.name
+                )
             self._remove_core(core)
-            self.fault_stats["killed"].append(core.config.name)
+            self.fault_stats.killed.append(core.config.name)
             return True
         if (
             faults.standalone_core == cid
@@ -490,7 +565,11 @@ class ContestingSystem:
         ):
             self._fault_flipped = True
             core.disable_contesting()
-            self.fault_stats["flipped"].append(core.config.name)
+            self.fault_stats.flipped.append(core.config.name)
+            if self.tracer is not None:
+                self.tracer.fault(
+                    core.time_ps, cid, "flip", core.config.name
+                )
             # it no longer consumes its queued results
             for fifo in self.fifos[cid]:
                 fifo.arrivals.clear()
@@ -501,8 +580,17 @@ class ContestingSystem:
             <= core.cycle
             < faults.stall_at_cycle + faults.stall_cycles
         ):
+            if (
+                self.tracer is not None
+                and core.cycle == faults.stall_at_cycle
+            ):
+                # one event per window, not one per stalled cycle
+                self.tracer.fault(
+                    core.time_ps, cid, "stall",
+                    f"{faults.stall_cycles} cycles",
+                )
             core.stall_cycle()
-            self.fault_stats["stalled_cycles"] += 1
+            self.fault_stats.stalled_cycles += 1
             return True
         return False
 
@@ -532,7 +620,12 @@ class ContestingSystem:
         self._write_merged_to_shared()
         self._over_since[core.core_id] = None
         self.resyncs += 1
-        self.fault_stats["recoveries"] += 1
+        self.fault_stats.recoveries += 1
+        if self.tracer is not None:
+            self.tracer.fault(
+                core.time_ps, core.core_id, "recovery", f"refork@{target}"
+            )
+            self.tracer.resync(core.time_ps, core.core_id, target)
 
     # ------------------------------------------------------------------
     # event-driven skip-ahead
@@ -718,6 +811,12 @@ class ContestingSystem:
                 )
         for c in self.cores:
             c.collect_cache_stats()
+        if self.tracer is not None:
+            for c in self.cores:
+                self.tracer.finalise_core(
+                    c.core_id, c.stats.committed, c.cycle, c.time_ps
+                )
+            self.tracer.finish(winner.time_ps)
         return ContestResult(
             config_names=[c.config.name for c in self.cores],
             trace_name=self.trace.name,

@@ -240,6 +240,36 @@ class ResultStore:
             except OSError:
                 pass
 
+    @property
+    def metrics_path(self) -> Path:
+        """The metrics sidecar file next to the result store."""
+        return self.path.with_name(self.path.stem + ".metrics.jsonl")
+
+    def append_metrics(self, record: Dict[str, object]) -> None:
+        """Append one telemetry metrics record to the metrics sidecar.
+
+        Same durability contract as :meth:`put`: one ``O_APPEND``
+        ``write(2)`` under the store's advisory lock, and a read-only
+        filesystem degrades to a silent no-op.  Records are typically
+        :func:`repro.telemetry.metrics.metrics_snapshot` dicts.
+        """
+        data = (
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self._locked():
+                fd = os.open(
+                    self.metrics_path,
+                    os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644,
+                )
+                try:
+                    os.write(fd, data)
+                finally:
+                    os.close(fd)
+        except OSError:
+            pass
+
     def counters(self) -> Dict[str, int]:
         """Hit/miss/eviction/corruption counters as a plain dict."""
         return {

@@ -28,6 +28,12 @@ from types import ModuleType
 from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO
 
 from repro.engine import ParallelExecutor, ResultStore, SimEngine
+from repro.telemetry import (
+    StatRegistry,
+    build_manifest,
+    metrics_snapshot,
+    write_manifest,
+)
 from repro.experiments import fig01, fig06, fig07, fig08, fig09, fig10
 from repro.experiments import fig11, fig12, fig13, appendix_a, table1
 from repro.experiments import ext_energy, ext_faults, ext_nway
@@ -158,6 +164,77 @@ def run_all(
     return results
 
 
+def _engine_registry(engine: SimEngine, wall_seconds: float) -> StatRegistry:
+    """Typed registry view of one runner invocation's engine counters."""
+    registry = StatRegistry()
+    stats = engine.stats
+    registry.counter(
+        "engine.memory_hits", "jobs", "jobs served from the in-memory cache"
+    ).inc(stats.memory_hits)
+    registry.counter(
+        "engine.store_hits", "jobs", "jobs served from the persistent store"
+    ).inc(stats.store_hits)
+    registry.counter(
+        "engine.misses", "jobs", "jobs simulated cold this invocation"
+    ).inc(stats.misses)
+    registry.counter(
+        "engine.failures", "jobs", "jobs that resolved to a JobFailure"
+    ).inc(stats.failures)
+    registry.gauge(
+        "engine.sim_seconds", "s", "wall time spent inside simulations"
+    ).set(stats.sim_seconds)
+    registry.gauge(
+        "runner.wall_seconds", "s", "wall time of the whole invocation"
+    ).set(wall_seconds)
+    if engine.store is not None:
+        for name, value in engine.store.counters().items():
+            registry.counter(
+                f"store.{name}", "records",
+                f"persistent result store '{name}' counter",
+            ).inc(value)
+    return registry
+
+
+def _emit_run_records(
+    engine: SimEngine,
+    scale: str,
+    names: List[str],
+    jobs: int,
+    cache_dir: Optional[str],
+    no_cache: bool,
+    wall_seconds: float,
+    manifest_path: Optional[str],
+) -> None:
+    """Provenance side-channel of one finished invocation: a metrics
+    snapshot appended to the store sidecar (when a store is attached) and
+    an optional :class:`~repro.telemetry.manifest.RunManifest` file.
+
+    Both are observability artefacts — the rendered experiment output
+    stays byte-identical whether or not they are emitted.
+    """
+    manifest = build_manifest(
+        scale=scale,
+        experiments=names or list(EXPERIMENTS),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        no_cache=no_cache,
+        seed=SCALES[scale].seed,
+        wall_seconds=wall_seconds,
+        engine=engine,
+    )
+    if engine.store is not None:
+        registry = _engine_registry(engine, wall_seconds)
+        engine.store.append_metrics(metrics_snapshot(registry, meta={
+            "source": "repro-experiments",
+            "config_hash": manifest.config_hash,
+            "scale": scale,
+            "experiments": list(manifest.experiments),
+        }))
+    if manifest_path:
+        write_manifest(manifest_path, manifest)
+        _log.info("manifest written to %s", manifest_path)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (see module docstring for usage)."""
     parser = argparse.ArgumentParser(
@@ -200,6 +277,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="on an experiment failure, record it and run the rest "
              "(exit non-zero at the end)",
     )
+    parser.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="write a run manifest (config hash, seed, wall time, cache "
+             "hit/miss counters) to FILE; see docs/observability.md",
+    )
     args = parser.parse_args(argv)
     logging.basicConfig(
         stream=sys.stderr,
@@ -215,6 +297,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     engine = build_engine(
         jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
     )
+    started = time.time()
+
+    def emit_records() -> None:
+        _emit_run_records(
+            engine, args.scale, args.names, args.jobs, args.cache_dir,
+            args.no_cache, time.time() - started, args.manifest,
+        )
+
     if args.output:
         class _Tee:
             def __init__(self, *streams: TextIO) -> None:
@@ -240,6 +330,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         except SuiteFailure as failure:
             print(f"[runner] {failure}", file=sys.stderr)
             return 1
+        finally:
+            # emitted even on failure: the manifest records what was
+            # attempted and how the cache behaved up to the error
+            emit_records()
         return 0
     try:
         run_all(
@@ -249,6 +343,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except SuiteFailure as failure:
         print(f"[runner] {failure}", file=sys.stderr)
         return 1
+    finally:
+        emit_records()
     return 0
 
 

@@ -22,6 +22,9 @@ stable on one machine).  This package catches the known failure classes
 * :mod:`~repro.lint.rules.mutable_default` — ``no-mutable-default``.
 * :mod:`~repro.lint.rules.dict_order` — ``no-dict-order-dependence``:
   sorted iteration over sets in timing-model code.
+* :mod:`~repro.lint.rules.untyped_stats` — ``no-untyped-stats``: model
+  code accumulates into typed stats (dataclass fields or the
+  :mod:`repro.telemetry` registry), never bare string dict keys.
 
 Run it as ``python -m repro.lint [paths]`` (see :mod:`repro.lint.cli` for
 ``--select/--ignore/--format=json/--list-rules``).  A finding can be

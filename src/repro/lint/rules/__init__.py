@@ -14,6 +14,7 @@ from repro.lint.rules import (  # noqa: F401  (side effect: registration)
     mutable_default,
     pickle_boundary,
     unseeded_random,
+    untyped_stats,
     wallclock,
 )
 
@@ -24,5 +25,6 @@ __all__ = [
     "mutable_default",
     "pickle_boundary",
     "unseeded_random",
+    "untyped_stats",
     "wallclock",
 ]

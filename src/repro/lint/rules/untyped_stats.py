@@ -1,0 +1,78 @@
+"""``no-untyped-stats``: no string-keyed stat-dict writes in model code."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileContext, Rule, register
+
+
+def _stats_name(node: ast.expr) -> Optional[str]:
+    """The terminal identifier of a stats container expression, if the
+    expression is a name/attribute whose last component is ``stats`` or
+    ends with ``_stats`` (``self.fault_stats``, ``core.stats``, ...)."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    if name == "stats" or name.endswith("_stats"):
+        return name
+    return None
+
+
+def _flagged_subscript(node: ast.expr) -> Optional[str]:
+    """The stats-container name when ``node`` is a constant-string
+    subscript of one (``stats["dropped"]``), else None."""
+    if not isinstance(node, ast.Subscript):
+        return None
+    index = node.slice
+    if not (isinstance(index, ast.Constant) and isinstance(index.value, str)):
+        return None
+    return _stats_name(node.value)
+
+
+@register
+class NoUntypedStats(Rule):
+    """Flag string-keyed writes into ``*stats`` containers in model scope."""
+
+    name = "no-untyped-stats"
+    summary = (
+        "model code must accumulate into typed stats "
+        "(dataclass fields / repro.telemetry registry), not string keys"
+    )
+    rationale = (
+        "A free-form Dict[str, object] stat accumulator turns every typo "
+        "into a silently fresh key and every consumer into an untyped "
+        "guess about what lives under each name — exactly the failure "
+        "'Validating Simplified Processor Models' warns reproductions "
+        "about. Model code must increment declared, unit-annotated stats: "
+        "dataclass fields (RunStats, FaultStats) or a "
+        "repro.telemetry.StatRegistry stat, both of which make the name, "
+        "type and meaning checkable by mypy and self-describing in "
+        "exports."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.in_model_scope:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                continue
+            for target in targets:
+                container = _flagged_subscript(target)
+                if container is not None:
+                    yield ctx.diag(
+                        self.name,
+                        target,
+                        f"string-keyed write into {container!r}; declare a "
+                        "typed field or a repro.telemetry registry stat "
+                        "instead of a bare dict key",
+                    )

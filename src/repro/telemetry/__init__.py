@@ -1,0 +1,64 @@
+"""``repro.telemetry`` — typed metrics, event tracing, and exporters.
+
+The paper's central claim is *when* leadership changes hands between
+heterogeneous cores; this package is the machine-readable record of it.
+Three layers (see ``docs/observability.md``):
+
+* :mod:`~repro.telemetry.registry` — a typed :class:`StatRegistry`
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram` /
+  :class:`TimeSeries`, each with a declared unit and docstring) replacing
+  free-form stat dicts.  The ``no-untyped-stats`` lint rule keeps
+  string-keyed stat dicts out of model code.
+* :mod:`~repro.telemetry.tracer` — a :class:`Tracer` recording lead
+  changes, GRB transfers, fault events, and skip-ahead jumps with
+  simulated (picosecond) timestamps.  A run without a tracer takes none of
+  the telemetry paths: the hooks are single ``is not None`` checks, so the
+  disabled cost is unmeasurable and results are bit-identical either way
+  (pinned by ``tests/differential/test_telemetry.py``).
+* exporters — :mod:`~repro.telemetry.chrome` (Chrome ``trace_event`` JSON,
+  loadable in Perfetto / ``chrome://tracing`` to *see* contesting),
+  :mod:`~repro.telemetry.metrics` (JSONL metrics snapshots, appendable to
+  the engine :class:`~repro.engine.store.ResultStore` sidecar), and
+  :mod:`~repro.telemetry.manifest` (run manifests: config hash, seed,
+  wall time, cache hit/miss — emitted by ``repro-experiments``).
+
+CLI surface: ``repro-sim <bench> --core a --core b --trace out.json
+--metrics out.jsonl``.
+"""
+
+from repro.telemetry.chrome import chrome_trace, write_chrome_trace
+from repro.telemetry.manifest import (
+    RunManifest,
+    build_manifest,
+    config_hash,
+    write_manifest,
+)
+from repro.telemetry.metrics import metrics_snapshot, write_metrics_jsonl
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Stat,
+    StatRegistry,
+    TimeSeries,
+)
+from repro.telemetry.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "RunManifest",
+    "Stat",
+    "StatRegistry",
+    "TimeSeries",
+    "TraceEvent",
+    "Tracer",
+    "build_manifest",
+    "chrome_trace",
+    "config_hash",
+    "metrics_snapshot",
+    "write_chrome_trace",
+    "write_manifest",
+    "write_metrics_jsonl",
+]

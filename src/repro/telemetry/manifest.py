@@ -1,0 +1,103 @@
+"""Run manifests: what ran, under which configuration, at what cost.
+
+A :class:`RunManifest` is the provenance record ``repro-experiments
+--manifest`` emits next to its rendered output: a content hash of the
+run configuration (scale, experiment selection, parallelism, cache
+arrangement, and the engine's job-schema version — anything that could
+change *which* simulations execute), the trace seed, wall time, and the
+engine's cache hit/miss counters.  Two runs with the same
+``config_hash`` simulated the same work; their differing wall times and
+hit rates are then attributable to cache state and hardware alone.
+"""
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.engine.engine import SimEngine
+from repro.engine.jobs import SCHEMA_VERSION
+
+#: manifest record format version
+MANIFEST_SCHEMA = 1
+
+
+def config_hash(payload: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON form of a config payload."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance of one runner invocation (see the module docstring)."""
+
+    config_hash: str
+    scale: str
+    experiments: Tuple[str, ...]
+    jobs: int
+    cache_dir: Optional[str]
+    no_cache: bool
+    seed: int
+    wall_seconds: float
+    job_schema: int = SCHEMA_VERSION
+    schema: int = MANIFEST_SCHEMA
+    #: engine cache counters for the run (empty when no engine attached)
+    engine_stats: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """The manifest as pretty, key-sorted JSON."""
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
+
+
+def build_manifest(
+    scale: str,
+    experiments: Sequence[str],
+    jobs: int,
+    cache_dir: Optional[str],
+    no_cache: bool,
+    seed: int,
+    wall_seconds: float,
+    engine: Optional[SimEngine] = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for one finished runner invocation."""
+    payload: Dict[str, object] = {
+        "scale": scale,
+        "experiments": list(experiments),
+        "jobs": jobs,
+        "cache_dir": cache_dir,
+        "no_cache": no_cache,
+        "seed": seed,
+        "job_schema": SCHEMA_VERSION,
+    }
+    stats: Dict[str, float] = {}
+    if engine is not None:
+        stats = {
+            "memory_hits": float(engine.stats.memory_hits),
+            "store_hits": float(engine.stats.store_hits),
+            "misses": float(engine.stats.misses),
+            "failures": float(engine.stats.failures),
+            "sim_seconds": float(engine.stats.sim_seconds),
+        }
+    return RunManifest(
+        config_hash=config_hash(payload),
+        scale=scale,
+        experiments=tuple(experiments),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        no_cache=no_cache,
+        seed=seed,
+        wall_seconds=wall_seconds,
+        engine_stats=stats,
+    )
+
+
+def write_manifest(path: Union[str, Path], manifest: RunManifest) -> Path:
+    """Serialise ``manifest`` as JSON to ``path``; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(manifest.to_json() + "\n", encoding="utf-8")
+    return out

@@ -1,0 +1,47 @@
+"""JSONL metrics snapshots: one self-describing record per run.
+
+A metrics snapshot is the :meth:`~repro.telemetry.registry.StatRegistry.
+describe` form — ``{name: {kind, unit, doc, value}}`` — wrapped with
+caller-supplied metadata (benchmark, configs, seed, ...), serialised as
+one JSON line.  Snapshots append cleanly to JSONL files, including the
+engine :class:`~repro.engine.store.ResultStore` metrics sidecar
+(``ResultStore.append_metrics``), and are diffed field-by-field by the
+golden-fixture tests rather than byte-wise.
+"""
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.telemetry.registry import StatRegistry
+
+#: schema tag embedded in every snapshot record
+METRICS_SCHEMA = 1
+
+
+def metrics_snapshot(
+    registry: StatRegistry,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """One JSON-ready metrics record: metadata + described stats."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "meta": dict(meta or {}),
+        "stats": registry.describe(),
+    }
+
+
+def write_metrics_jsonl(
+    path: Union[str, Path],
+    snapshots: Iterable[Dict[str, object]],
+) -> Path:
+    """Write snapshot records (one JSON object per line) to ``path``."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in snapshots
+    ]
+    out.write_text("\n".join(lines) + ("\n" if lines else ""),
+                   encoding="utf-8")
+    return out

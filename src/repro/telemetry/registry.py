@@ -1,0 +1,223 @@
+"""The typed stat registry: declared units, docstrings, four stat kinds.
+
+A :class:`StatRegistry` replaces free-form ``Dict[str, object]`` stat
+accumulators with *declared* statistics: every stat has a kind
+(:class:`Counter`, :class:`Gauge`, :class:`Histogram`,
+:class:`TimeSeries`), a unit string, and a one-line docstring, so a
+metrics snapshot is self-describing and a typo in a stat name is an error
+at declaration time instead of a silently fresh dict key.
+
+Declaration is idempotent: ``registry.counter("grb.transfers", ...)``
+returns the existing stat when one is already declared under that name,
+and raises when the existing declaration disagrees on kind or unit — two
+call sites can therefore share a stat without coordinating, but cannot
+accidentally alias two different quantities under one name.
+
+Registries are pure accumulators of *simulated* quantities: nothing in
+this module reads host clocks or randomness, so attaching telemetry can
+never perturb a result (``tests/differential/test_telemetry.py`` pins
+this).
+"""
+
+from typing import Dict, Iterator, List, Optional, Tuple, Type, TypeVar, Union
+
+#: JSON-ready snapshot value of one stat.
+SnapshotValue = Union[
+    int, float, Dict[str, int], List[Tuple[int, float]]
+]
+
+
+class Stat:
+    """Base class: one named, unit-annotated, documented statistic."""
+
+    #: kind tag in snapshots/exports ("counter", "gauge", ...)
+    kind: str = "stat"
+
+    def __init__(self, name: str, unit: str, doc: str) -> None:
+        if not name:
+            raise ValueError("a stat needs a non-empty name")
+        self.name = name
+        self.unit = unit
+        self.doc = doc
+
+    def snapshot_value(self) -> SnapshotValue:
+        """The stat's current value in a JSON-ready shape."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, SnapshotValue]:
+        """Full self-describing record: kind, unit, doc, value."""
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "doc": self.doc,
+            "value": self.snapshot_value(),
+        }
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}={self.snapshot_value()!r}>"
+
+
+class Counter(Stat):
+    """A monotonically increasing integer count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str, doc: str) -> None:
+        super().__init__(name, unit, doc)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (>= 0) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+    def snapshot_value(self) -> int:
+        return self.value
+
+
+class Gauge(Stat):
+    """A point-in-time numeric value (set, not accumulated)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str, doc: str) -> None:
+        super().__init__(name, unit, doc)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+class Histogram(Stat):
+    """Counts bucketed by a categorical label (e.g. retired op class).
+
+    ``total`` always equals the sum of the bucket counts, which test
+    invariants compare against sibling counters (histogram totals ==
+    counter sums).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, unit: str, doc: str) -> None:
+        super().__init__(name, unit, doc)
+        self.buckets: Dict[str, int] = {}
+
+    def add(self, bucket: str, n: int = 1) -> None:
+        """Add ``n`` observations to ``bucket``."""
+        if n < 0:
+            raise ValueError(f"histogram {self.name} cannot decrease (n={n})")
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + n
+
+    @property
+    def total(self) -> int:
+        """Sum over all buckets."""
+        return sum(self.buckets.values())
+
+    def snapshot_value(self) -> Dict[str, int]:
+        return dict(sorted(self.buckets.items()))
+
+
+class TimeSeries(Stat):
+    """Samples of a value over simulated time (integer picoseconds)."""
+
+    kind = "timeseries"
+
+    def __init__(self, name: str, unit: str, doc: str) -> None:
+        super().__init__(name, unit, doc)
+        #: (ts_ps, value) in sample order; timestamps are simulated time
+        self.samples: List[Tuple[int, float]] = []
+
+    def sample(self, ts_ps: int, value: float) -> None:
+        """Append one sample at simulated time ``ts_ps``."""
+        self.samples.append((ts_ps, value))
+
+    def snapshot_value(self) -> List[Tuple[int, float]]:
+        return list(self.samples)
+
+
+_S = TypeVar("_S", bound=Stat)
+
+
+class StatRegistry:
+    """A namespace of declared stats (see the module docstring)."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, Stat] = {}
+
+    # --- declaration (idempotent, conflict-checked) --------------------
+
+    def _declare(
+        self, cls: Type[_S], name: str, unit: str, doc: str
+    ) -> _S:
+        existing = self._stats.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing.unit != unit:
+                raise ValueError(
+                    f"stat {name!r} already declared as "
+                    f"{existing.kind}[{existing.unit}]; cannot redeclare as "
+                    f"{cls.kind}[{unit}]"
+                )
+            return existing
+        stat = cls(name, unit, doc)
+        self._stats[name] = stat
+        return stat
+
+    def counter(self, name: str, unit: str = "", doc: str = "") -> Counter:
+        """Declare (or fetch) a :class:`Counter`."""
+        return self._declare(Counter, name, unit, doc)
+
+    def gauge(self, name: str, unit: str = "", doc: str = "") -> Gauge:
+        """Declare (or fetch) a :class:`Gauge`."""
+        return self._declare(Gauge, name, unit, doc)
+
+    def histogram(self, name: str, unit: str = "", doc: str = "") -> Histogram:
+        """Declare (or fetch) a :class:`Histogram`."""
+        return self._declare(Histogram, name, unit, doc)
+
+    def timeseries(
+        self, name: str, unit: str = "", doc: str = ""
+    ) -> TimeSeries:
+        """Declare (or fetch) a :class:`TimeSeries`."""
+        return self._declare(TimeSeries, name, unit, doc)
+
+    # --- access ---------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __iter__(self) -> Iterator[Stat]:
+        """Stats in sorted-name order (stable across declaration order)."""
+        for name in sorted(self._stats):
+            yield self._stats[name]
+
+    def get(self, name: str) -> Optional[Stat]:
+        """The stat declared under ``name``, or None."""
+        return self._stats.get(name)
+
+    def __getitem__(self, name: str) -> Stat:
+        try:
+            return self._stats[name]
+        except KeyError:
+            raise KeyError(
+                f"no stat declared under {name!r}; "
+                f"known: {', '.join(sorted(self._stats)) or '<none>'}"
+            ) from None
+
+    # --- export ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, SnapshotValue]:
+        """``{name: value}`` for every stat, names sorted."""
+        return {stat.name: stat.snapshot_value() for stat in self}
+
+    def describe(self) -> Dict[str, Dict[str, SnapshotValue]]:
+        """``{name: {kind, unit, doc, value}}`` — the self-describing
+        form metric snapshots embed."""
+        return {stat.name: stat.describe() for stat in self}

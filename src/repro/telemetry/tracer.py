@@ -1,0 +1,306 @@
+"""The event tracer: lead changes, GRB traffic, faults, skip-ahead jumps.
+
+A :class:`Tracer` is handed to :func:`repro.uarch.run.run_standalone` or
+:class:`repro.core.system.ContestingSystem` and records *simulated-time*
+events plus a typed :class:`~repro.telemetry.registry.StatRegistry`.  The
+hooks in model code are single ``tracer is not None`` checks on paths that
+are already per-retirement or rarer, so a run without a tracer pays one
+pointer comparison at most — and takes *no* telemetry branch — keeping
+results bit-identical with telemetry on or off (differential-tested) and
+the disabled overhead below the 2% benchmark gate.
+
+Event stream semantics (every event carries ``ts_ps``, simulated
+picoseconds):
+
+``lead_change``
+    Leadership moved between cores (``from_core`` -> ``to_core`` at
+    retirement ``seq``).  The count always equals
+    ``ContestResult.lead_changes`` and
+    :func:`repro.analysis.switching.lead_changes_from_events` re-derives
+    it from the stream (parity is property-tested).
+``skip``
+    An event-driven skip-ahead jump: ``from_cycle`` -> ``to_cycle`` on
+    one core, ``dur_ps`` of wall-simulated time skipped.
+``fault`` / ``saturated`` / ``resync``
+    Fault injections, saturated-lagger removals, and re-forks.
+``grb_transfer``
+    One GRB result hop (only recorded as individual events under
+    ``detail="full"``; the default ``"sampled"`` mode counts every
+    transfer in the registry and samples receive-FIFO occupancy every
+    ``sample_every`` transfers per sender->receiver link, which keeps
+    exports small while the occupancy tracks still visualise traffic).
+
+GRB transfer ``fate`` uses the :mod:`repro.faults` ``XFER_*`` codes
+(0 = delivered intact).
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import OpClass
+from repro.telemetry.registry import Counter, StatRegistry
+
+#: bucket labels for the retired-op-class histograms, indexed by op value
+OP_BUCKETS: Tuple[str, ...] = tuple(op.name.lower() for op in OpClass)
+
+#: GRB transfer fates, indexed by the repro.faults XFER_* codes
+XFER_BUCKETS: Tuple[str, ...] = ("ok", "dropped", "corrupted", "delayed")
+
+#: tracer detail levels
+DETAIL_LEVELS = ("sampled", "full")
+
+
+class TraceEvent:
+    """One recorded event: a name, a simulated timestamp, a core, args."""
+
+    __slots__ = ("name", "ts_ps", "core", "args")
+
+    def __init__(
+        self, name: str, ts_ps: int, core: int, args: Dict[str, object]
+    ) -> None:
+        self.name = name
+        self.ts_ps = ts_ps
+        self.core = core
+        self.args = args
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceEvent {self.name} @{self.ts_ps}ps core={self.core} "
+            f"{self.args}>"
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records and typed registry stats.
+
+    Parameters
+    ----------
+    detail:
+        ``"sampled"`` (default) records lead changes, skips, faults,
+        saturations and re-forks as events and aggregates GRB transfers
+        into counters plus sampled occupancy time series; ``"full"``
+        additionally records every individual GRB transfer as an event.
+    sample_every:
+        Under ``"sampled"``, one occupancy sample is taken every this many
+        transfers per sender->receiver link (and the first transfer is
+        always sampled).
+    """
+
+    def __init__(self, detail: str = "sampled", sample_every: int = 64) -> None:
+        if detail not in DETAIL_LEVELS:
+            raise ValueError(
+                f"unknown detail {detail!r}; expected one of {DETAIL_LEVELS}"
+            )
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.detail = detail
+        self.sample_every = sample_every
+        self.events: List[TraceEvent] = []
+        self.registry = StatRegistry()
+        #: core_id -> config name, in registration order
+        self.core_names: Dict[int, str] = {}
+        #: core_id -> clock period (ps), for export annotations
+        self.core_periods: Dict[int, int] = {}
+        #: core_id -> per-op retired counts (indexed by op value); model
+        #: code increments these plain lists in the commit loop and
+        #: :meth:`finalise_core` folds them into histograms
+        self._op_counts: Dict[int, List[int]] = {}
+        #: (sender, receiver) -> transfers seen on that link (sampling)
+        self._link_counts: Dict[Tuple[int, int], int] = {}
+        #: core_id of the initial leader (contests only)
+        self.initial_leader: Optional[int] = None
+        #: simulated end-of-run timestamp, set by :meth:`finish`
+        self.end_ts_ps: Optional[int] = None
+
+        reg = self.registry
+        self._lead_changes: Counter = reg.counter(
+            "contest.lead_changes", "events",
+            "times leadership moved between cores",
+        )
+        self._transfers: Counter = reg.counter(
+            "grb.transfers", "results",
+            "retired-result transfers broadcast on the global result buses",
+        )
+        self._skip_jumps: Counter = reg.counter(
+            "skip.jumps", "events",
+            "event-driven skip-ahead jumps taken",
+        )
+        self._skip_cycles: Counter = reg.counter(
+            "skip.cycles", "cycles",
+            "idle cycles skipped (summed over cores)",
+        )
+        self._fault_events: Counter = reg.counter(
+            "faults.events", "events",
+            "fault injections applied (kills, stall windows, flips, "
+            "corruption recoveries)",
+        )
+        self._saturations: Counter = reg.counter(
+            "contest.saturations", "events",
+            "cores removed from contesting as saturated laggers",
+        )
+        self._resyncs: Counter = reg.counter(
+            "contest.resyncs", "events",
+            "re-forks of a trailing core at the leader's retirement point",
+        )
+
+    # ------------------------------------------------------------------
+    # registration (called at construction time, not in the hot loop)
+    # ------------------------------------------------------------------
+
+    def register_core(
+        self, core_id: int, name: str, period_ps: int
+    ) -> List[int]:
+        """Register one participating core; returns its retired-op count
+        array (one slot per :class:`~repro.isa.instructions.OpClass`) for
+        the core's commit loop to increment in place."""
+        self.core_names[core_id] = name
+        self.core_periods[core_id] = period_ps
+        counts = [0] * len(OP_BUCKETS)
+        self._op_counts[core_id] = counts
+        return counts
+
+    def set_initial_leader(self, core_id: int) -> None:
+        """Record which core holds the lead at time zero (contests)."""
+        self.initial_leader = core_id
+
+    def op_counts(self, core_id: int) -> List[int]:
+        """The live retired-op count array of a registered core."""
+        return self._op_counts[core_id]
+
+    # ------------------------------------------------------------------
+    # recording hooks (called from model code behind `is not None` checks)
+    # ------------------------------------------------------------------
+
+    def lead_change(
+        self, ts_ps: int, from_core: int, to_core: int, seq: int
+    ) -> None:
+        """Leadership moved ``from_core`` -> ``to_core`` at retirement
+        ``seq``."""
+        self._lead_changes.inc()
+        self.events.append(TraceEvent(
+            "lead_change", ts_ps, to_core,
+            {"from": from_core, "to": to_core, "seq": seq},
+        ))
+
+    def grb_transfer(
+        self,
+        ts_ps: int,
+        sender: int,
+        receiver: int,
+        seq: int,
+        occupancy: int,
+        fate: int = 0,
+    ) -> None:
+        """One retired result crossed a GRB hop (``fate``: XFER_* code)."""
+        self._transfers.inc()
+        if fate:
+            self.registry.counter(
+                f"grb.{XFER_BUCKETS[fate]}", "results",
+                f"transfers {XFER_BUCKETS[fate]} in flight",
+            ).inc()
+        link = (sender, receiver)
+        seen = self._link_counts.get(link, 0)
+        self._link_counts[link] = seen + 1
+        if seen % self.sample_every == 0:
+            self.registry.timeseries(
+                f"grb.fifo_occupancy.c{receiver}_from_c{sender}", "results",
+                f"receive-FIFO occupancy at core {receiver} for results "
+                f"from core {sender} (sampled every "
+                f"{self.sample_every} transfers)",
+            ).sample(ts_ps, float(occupancy))
+        if self.detail == "full":
+            self.events.append(TraceEvent(
+                "grb_transfer", ts_ps, receiver,
+                {"sender": sender, "seq": seq, "occupancy": occupancy,
+                 "fate": XFER_BUCKETS[fate]},
+            ))
+
+    def skip(
+        self,
+        ts_ps: int,
+        core: int,
+        from_cycle: int,
+        to_cycle: int,
+        dur_ps: int,
+    ) -> None:
+        """An event-driven skip-ahead jump on one core's clock."""
+        self._skip_jumps.inc()
+        self._skip_cycles.inc(to_cycle - from_cycle)
+        self.events.append(TraceEvent(
+            "skip", ts_ps, core,
+            {"from_cycle": from_cycle, "to_cycle": to_cycle,
+             "dur_ps": dur_ps},
+        ))
+
+    def fault(self, ts_ps: int, core: int, kind: str, detail: str = "") -> None:
+        """A fault-plan action fired (kill / stall window / flip /
+        corruption recovery)."""
+        self._fault_events.inc()
+        self.registry.counter(
+            f"faults.{kind}", "events", f"'{kind}' fault actions applied",
+        ).inc()
+        self.events.append(TraceEvent(
+            "fault", ts_ps, core, {"kind": kind, "detail": detail},
+        ))
+
+    def saturated(self, ts_ps: int, core: int, name: str) -> None:
+        """A core was removed from contesting as a saturated lagger."""
+        self._saturations.inc()
+        self.events.append(TraceEvent(
+            "saturated", ts_ps, core, {"config": name},
+        ))
+
+    def resync(self, ts_ps: int, core: int, target_seq: int) -> None:
+        """A core was re-forked at the leader's retirement point."""
+        self._resyncs.inc()
+        self.events.append(TraceEvent(
+            "resync", ts_ps, core, {"target_seq": target_seq},
+        ))
+
+    def rob_occupancy(self, ts_ps: int, core: int, occupancy: int) -> None:
+        """Sample one core's ROB occupancy (taken at lead changes)."""
+        self.registry.timeseries(
+            f"core{core}.rob_occupancy", "instructions",
+            f"ROB occupancy of core {core}, sampled at lead changes",
+        ).sample(ts_ps, float(occupancy))
+
+    # ------------------------------------------------------------------
+    # finalisation (after the run, outside any hot path)
+    # ------------------------------------------------------------------
+
+    def finalise_core(
+        self, core_id: int, committed: int, cycles: int, time_ps: int
+    ) -> None:
+        """Fold one finished core's counters into the registry."""
+        name = self.core_names.get(core_id, str(core_id))
+        retired = self.registry.counter(
+            f"core{core_id}.retired", "instructions",
+            f"instructions retired by core {core_id} ({name})",
+        )
+        retired.inc(committed - retired.value)
+        cycles_c = self.registry.counter(
+            f"core{core_id}.cycles", "cycles",
+            f"clock cycles simulated on core {core_id} ({name})",
+        )
+        cycles_c.inc(cycles - cycles_c.value)
+        self.registry.gauge(
+            f"core{core_id}.time_ps", "ps",
+            f"simulated time reached by core {core_id} ({name})",
+        ).set(float(time_ps))
+        hist = self.registry.histogram(
+            f"core{core_id}.retired_ops", "instructions",
+            f"retired instructions of core {core_id} ({name}) by op class",
+        )
+        counts = self._op_counts.get(core_id)
+        if counts is not None:
+            for op, count in enumerate(counts):
+                have = hist.buckets.get(OP_BUCKETS[op], 0)
+                if count > have:
+                    hist.add(OP_BUCKETS[op], count - have)
+
+    def finish(self, ts_ps: int) -> None:
+        """Mark the simulated end of the run (closes open lead intervals
+        in the Chrome export)."""
+        self.end_ts_ps = ts_ps
+        self.registry.gauge(
+            "run.end_ts_ps", "ps", "simulated timestamp of run completion",
+        ).set(float(ts_ps))

@@ -150,6 +150,9 @@ class Core:
         prewarm: bool = True,
         shared_cache: Optional[Cache] = None,
         shared_latency: int = 0,
+        # a repro.telemetry.Tracer (annotated loosely: telemetry is an
+        # observer layer and the model must not depend on it)
+        tracer: Optional[Any] = None,
     ) -> None:
         self.config = config
         self.trace = trace
@@ -157,6 +160,13 @@ class Core:
         self.contest = contest
         self.contesting_enabled = contest is not None
         self.halted = False
+        self.tracer = tracer
+        # live per-op retired counts owned by the tracer; the commit loop
+        # increments the plain list so the disabled path stays branch-free
+        self._tel_ops: Optional[List[int]] = (
+            tracer.register_core(core_id, config.name, config.period_ps)
+            if tracer is not None else None
+        )
 
         self.period_ps = config.period_ps
         self.cycle = 0
@@ -246,6 +256,11 @@ class Core:
     def done(self) -> bool:
         """True once the final trace instruction has retired on this core."""
         return self.commit_count >= self._n
+
+    @property
+    def rob_occupancy(self) -> int:
+        """In-flight instructions currently occupying the ROB."""
+        return len(self._rob) - self._rob_head
 
     @property
     def rob_occupancy(self) -> int:
@@ -371,6 +386,11 @@ class Core:
             return
         if self._fetch_stalled or self._syscall_stall:
             self.stats.fetch_stall_cycles += delta
+        if self.tracer is not None:
+            self.tracer.skip(
+                self.time_ps, self.core_id, self.cycle, cycle,
+                delta * self.period_ps,
+            )
         self.cycle = cycle
         self.time_ps += delta * self.period_ps
         self.stats.cycles = cycle
@@ -477,6 +497,7 @@ class Core:
         budget = self._width
         rob = self._rob
         head = self._rob_head
+        tel_ops = self._tel_ops
         while budget and head < len(rob):
             rec = rob[head]
             if not rec.completed or not rec.resolved:
@@ -521,6 +542,8 @@ class Core:
                 # Broadcast on this core's GRB even while contesting is
                 # disabled for *receiving*; other cores may still benefit.
                 self.contest.on_retire(self, rec.seq, self.time_ps)
+            if tel_ops is not None:
+                tel_ops[op] += 1
             budget -= 1
 
         self._rob_head = head

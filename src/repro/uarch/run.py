@@ -1,11 +1,14 @@
 """Standalone (non-contesting) execution of a trace on one core."""
 
 from dataclasses import dataclass
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.isa.trace import Trace
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import Core, RunStats
+
+if TYPE_CHECKING:  # telemetry is an observer layer, never a model import
+    from repro.telemetry import Tracer
 
 
 @dataclass
@@ -38,6 +41,7 @@ def run_standalone(
     max_cycles: int = 0,
     prewarm: bool = True,
     skip_ahead: bool = True,
+    tracer: Optional["Tracer"] = None,
 ) -> StandaloneResult:
     """Execute ``trace`` to completion on a core built from ``config``.
 
@@ -56,8 +60,14 @@ def run_standalone(
         through cycles in which no stage can do anything.  Results are
         bit-identical to cycle stepping (pinned by ``tests/differential``);
         disable only to cross-check or profile the reference loop.
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; records skip-ahead jumps
+        and per-op retirement counts without perturbing any result.
     """
-    core = Core(config, trace, region_size=region_size, prewarm=prewarm)
+    core = Core(
+        config, trace, region_size=region_size, prewarm=prewarm,
+        tracer=tracer,
+    )
     limit = max_cycles or (len(trace) * (config.mem_latency + 64) + 100_000)
     if skip_ahead:
         while not core.done:
@@ -83,6 +93,11 @@ def run_standalone(
                     f"{trace.name}: likely a pipeline deadlock"
                 )
     core.collect_cache_stats()
+    if tracer is not None:
+        tracer.finalise_core(
+            core.core_id, core.stats.committed, core.cycle, core.time_ps
+        )
+        tracer.finish(core.time_ps)
     return StandaloneResult(
         config_name=config.name,
         trace_name=trace.name,

@@ -85,7 +85,11 @@ def assert_contest_identical(configs, trace, **kwargs) -> None:
         dataclasses.asdict(slow._diff_result),
         label,
     )
-    _assert_dicts_equal(fast.fault_stats, slow.fault_stats, label + " faults")
+    _assert_dicts_equal(
+        dataclasses.asdict(fast.fault_stats),
+        dataclasses.asdict(slow.fault_stats),
+        label + " faults",
+    )
     assert fast.store_queue.stalls == slow.store_queue.stalls, label
     assert fast.store_queue.merged == slow.store_queue.merged, label
     assert fast.store_queue.occupancy == slow.store_queue.occupancy, label

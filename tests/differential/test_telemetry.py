@@ -1,0 +1,112 @@
+"""Telemetry on vs. off: bit-identical simulation results.
+
+Tracing is an observer layer — attaching a :class:`~repro.telemetry.Tracer`
+must not change a single observable.  Every test here runs the same
+workload twice, once plain and once fully instrumented (``detail="full"``
+so even the per-transfer event path is exercised), and demands exact
+equality of the complete result dataclass, fault diagnostics included.
+
+A representative slice runs on every push; the full Appendix-A config
+sweep over every phase template runs nightly (``slow``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.system import ContestingSystem
+from repro.faults import FaultPlan
+from repro.telemetry import Tracer
+from repro.uarch.config import APPENDIX_A_CORES, core_config
+from repro.uarch.run import run_standalone
+
+from .diffutil import PHASE_FACTORIES, _assert_dicts_equal, phase_trace
+
+TEMPLATES = sorted(PHASE_FACTORIES)
+
+
+def assert_standalone_unobserved(config, trace, **kwargs) -> None:
+    """Standalone with and without a tracer: identical results."""
+    plain = run_standalone(config, trace, **kwargs)
+    traced = run_standalone(
+        config, trace, tracer=Tracer(detail="full"), **kwargs
+    )
+    _assert_dicts_equal(
+        dataclasses.asdict(traced),
+        dataclasses.asdict(plain),
+        f"traced standalone {config.name} on {trace.name}",
+    )
+
+
+def assert_contest_unobserved(configs, trace, **kwargs) -> None:
+    """Contest with and without a tracer: identical observables."""
+    plain_sys = ContestingSystem(list(configs), trace, **kwargs)
+    traced_sys = ContestingSystem(
+        list(configs), trace, tracer=Tracer(detail="full"), **kwargs
+    )
+    plain = plain_sys.run()
+    traced = traced_sys.run()
+    label = "traced contest " + "+".join(c.name for c in configs)
+    _assert_dicts_equal(
+        dataclasses.asdict(traced), dataclasses.asdict(plain), label
+    )
+    _assert_dicts_equal(
+        dataclasses.asdict(traced_sys.fault_stats),
+        dataclasses.asdict(plain_sys.fault_stats),
+        label + " faults",
+    )
+
+
+class TestStandaloneUnobserved:
+    @pytest.mark.parametrize("template", TEMPLATES)
+    def test_template_identical(self, template):
+        trace = phase_trace(template, length=2000, seed=11)
+        assert_standalone_unobserved(core_config("crafty"), trace)
+
+    def test_mixed_profile_identical(self, small_trace):
+        assert_standalone_unobserved(core_config("gcc"), small_trace)
+
+    def test_reference_stepping_identical(self):
+        """The tracer must also be invisible on the no-skip slow path."""
+        trace = phase_trace("windowed_mem", length=1500, seed=3)
+        assert_standalone_unobserved(
+            core_config("mcf"), trace, skip_ahead=False
+        )
+
+
+class TestContestUnobserved:
+    def test_two_way_contest_identical(self, small_trace):
+        configs = [core_config("gcc"), core_config("vpr")]
+        assert_contest_unobserved(configs, small_trace)
+
+    def test_three_way_contest_identical(self, small_trace):
+        configs = [core_config(n) for n in ("mcf", "crafty", "vortex")]
+        assert_contest_unobserved(configs, small_trace, grb_latency_ns=2.0)
+
+    def test_faulted_contest_identical(self, small_trace):
+        """Fault paths emit the densest event mix — still invisible."""
+        configs = [core_config("gcc"), core_config("twolf")]
+        faults = FaultPlan(
+            drop_rate=0.02, corrupt_rate=0.01, delay_rate=0.02, seed=7
+        )
+        assert_contest_unobserved(configs, small_trace, faults=faults)
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    """Nightly: every Appendix-A config, traced vs. plain, per template."""
+
+    @pytest.mark.parametrize("config_name", sorted(APPENDIX_A_CORES))
+    @pytest.mark.parametrize("template", TEMPLATES)
+    def test_standalone_config_template_identical(
+        self, config_name, template
+    ):
+        trace = phase_trace(template, length=2000, seed=17)
+        assert_standalone_unobserved(core_config(config_name), trace)
+
+    @pytest.mark.parametrize("config_name", sorted(APPENDIX_A_CORES))
+    def test_contest_vs_gcc_identical(self, config_name, small_trace):
+        if config_name == "gcc":
+            pytest.skip("contest needs two distinct configs")
+        configs = [core_config("gcc"), core_config(config_name)]
+        assert_contest_unobserved(configs, small_trace)

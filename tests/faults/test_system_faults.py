@@ -65,7 +65,7 @@ class TestGolden:
         clean, _ = run_system(None)
         noop, system = run_system(FaultPlan())
         assert noop == clean
-        assert all(not v for v in system.fault_stats.values())
+        assert not system.fault_stats.any_faults
 
 
 class TestTransferFaults:
@@ -74,7 +74,7 @@ class TestTransferFaults:
         result, system = run_system(FaultPlan(seed=3, drop_rate=1.0))
         assert sum(s.injected for s in result.per_core.values()) == 0
         assert result.instructions == clean.instructions
-        assert system.fault_stats["dropped"] > 0
+        assert system.fault_stats.dropped > 0
 
     def test_partial_drop_loses_some_hints(self):
         clean, _ = run_system(None)
@@ -82,20 +82,20 @@ class TestTransferFaults:
         injected = sum(s.injected for s in result.per_core.values())
         clean_injected = sum(s.injected for s in clean.per_core.values())
         assert 0 < injected < clean_injected
-        assert system.fault_stats["dropped"] > 0
+        assert system.fault_stats.dropped > 0
 
     def test_corruption_recovers_through_resync(self):
         result, system = run_system(FaultPlan(seed=3, corrupt_rate=0.05))
-        assert system.fault_stats["corrupted"] > 0
-        if system.fault_stats["corrupt_consumed"]:
-            assert system.fault_stats["recoveries"] > 0
-            assert result.resyncs == system.fault_stats["recoveries"]
+        assert system.fault_stats.corrupted > 0
+        if system.fault_stats.corrupt_consumed:
+            assert system.fault_stats.recoveries > 0
+            assert result.resyncs == system.fault_stats.recoveries
 
     def test_delay_charges_latency(self):
         result, system = run_system(
             FaultPlan(seed=3, delay_rate=0.5, delay_ns=20.0)
         )
-        assert system.fault_stats["delayed"] > 0
+        assert system.fault_stats.delayed > 0
         assert result.winner  # the run still completes
 
 
@@ -109,7 +109,7 @@ class TestCoreFaults:
         result, system = run_system(
             FaultPlan(kill_core=winner_id, kill_at_commit=1000)
         )
-        assert system.fault_stats["killed"] == [clean.winner]
+        assert system.fault_stats.killed == [clean.winner]
         assert result.winner != clean.winner
         assert result.instructions == clean.instructions
         assert result.per_core[
@@ -121,14 +121,14 @@ class TestCoreFaults:
         result, system = run_system(
             FaultPlan(stall_core=0, stall_at_cycle=500, stall_cycles=750)
         )
-        assert system.fault_stats["stalled_cycles"] == 750
+        assert system.fault_stats.stalled_cycles == 750
         assert result.winner
 
     def test_standalone_flip_stops_injections(self):
         result, system = run_system(
             FaultPlan(standalone_core=1, standalone_at_commit=200)
         )
-        assert system.fault_stats["flipped"] == ["vpr"]
+        assert system.fault_stats.flipped == ["vpr"]
         assert result.winner  # the run still completes
 
     def test_faults_recorded_on_system_not_result(self):

@@ -1,0 +1,108 @@
+"""Golden fixtures for the telemetry exporters.
+
+Pins the complete exporter output — the Chrome ``trace_event`` JSON and
+the metrics JSONL snapshot — for three (workload, cores) trios: one
+standalone run and two contests.  Unlike the invariant suite (which
+proves internal consistency), this pins the *serialised* artefacts
+field by field: a renamed event, a dropped ``args`` key, or a shifted
+timestamp shows up as a named path into the JSON, and an intended schema
+change is ratified by regenerating:
+
+    PYTHONPATH=src python -m tests.golden.regenerate
+"""
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.system import ContestingSystem
+from repro.isa.generator import generate_trace
+from repro.isa.workloads import workload_profile
+from repro.telemetry import Tracer, chrome_trace, metrics_snapshot
+from repro.uarch.config import core_config
+from repro.uarch.run import run_standalone
+
+TELEMETRY_DIR = Path(__file__).parent / "telemetry"
+
+#: (fixture name, workload profile, core configs) — one standalone run
+#: and two contests, covering lead slices, skip slices and counter tracks
+TRIOS: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
+    ("gcc_standalone", "gcc", ("gcc",)),
+    ("mcf_two_way", "mcf", ("mcf", "crafty")),
+    ("twolf_three_way", "twolf", ("vortex", "vpr", "twolf")),
+)
+LENGTH = 1200
+SEED = 11
+
+
+def run_trio(profile: str, config_names: Tuple[str, ...]) -> Tracer:
+    """Run one fixture scenario under a default (sampled) tracer."""
+    trace = generate_trace(workload_profile(profile), LENGTH, seed=SEED)
+    tracer = Tracer()
+    configs = [core_config(name) for name in config_names]
+    if len(configs) == 1:
+        run_standalone(configs[0], trace, tracer=tracer)
+    else:
+        ContestingSystem(configs, trace, tracer=tracer).run()
+    return tracer
+
+
+def fixture_meta(
+    name: str, profile: str, config_names: Tuple[str, ...]
+) -> Dict[str, object]:
+    """Deterministic snapshot meta — no wall times or hostnames."""
+    return {
+        "fixture": name,
+        "workload": profile,
+        "cores": list(config_names),
+        "length": LENGTH,
+        "seed": SEED,
+    }
+
+
+def compute_artifacts() -> Dict[str, Tuple[Dict, Dict]]:
+    """(chrome trace, metrics snapshot) for every fixture trio."""
+    artifacts: Dict[str, Tuple[Dict, Dict]] = {}
+    for name, profile, config_names in TRIOS:
+        tracer = run_trio(profile, config_names)
+        artifacts[name] = (
+            chrome_trace(tracer),
+            metrics_snapshot(
+                tracer.registry, meta=fixture_meta(name, profile, config_names)
+            ),
+        )
+    return artifacts
+
+
+def trace_path(name: str) -> Path:
+    return TELEMETRY_DIR / f"{name}.trace.json"
+
+
+def metrics_path(name: str) -> Path:
+    return TELEMETRY_DIR / f"{name}.metrics.jsonl"
+
+
+def load_artifacts() -> Dict[str, Tuple[Dict, Dict]]:
+    """Read the checked-in goldens back as parsed JSON."""
+    artifacts: Dict[str, Tuple[Dict, Dict]] = {}
+    for name, _, _ in TRIOS:
+        trace = json.loads(trace_path(name).read_text())
+        lines = metrics_path(name).read_text().splitlines()
+        assert len(lines) == 1, f"{name}: expected one snapshot line"
+        artifacts[name] = (trace, json.loads(lines[0]))
+    return artifacts
+
+
+def save_artifacts() -> List[Path]:
+    TELEMETRY_DIR.mkdir(exist_ok=True)
+    written: List[Path] = []
+    for name, (trace, snapshot) in sorted(compute_artifacts().items()):
+        tp = trace_path(name)
+        tp.write_text(json.dumps(trace, indent=1, sort_keys=True) + "\n")
+        mp = metrics_path(name)
+        mp.write_text(
+            json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+        written.extend([tp, mp])
+    return written

@@ -1,13 +1,18 @@
-"""Regenerate ``golden_ipc.json`` after an *intended* timing-model change.
+"""Regenerate the golden fixtures after an *intended* model change.
 
     PYTHONPATH=src python -m tests.golden.regenerate
 
-Review the resulting diff cell by cell before committing it — each changed
-number is a claim that the model was supposed to move there.
+Rewrites ``golden_ipc.json`` (timing-model numbers) and the telemetry
+exporter artefacts under ``telemetry/``.  Review the resulting diff cell
+by cell before committing it — each changed number is a claim that the
+model was supposed to move there.
 """
 
 from tests.golden.fixture import GOLDEN_PATH, save_goldens
+from tests.golden.fixture_telemetry import save_artifacts
 
 if __name__ == "__main__":
     save_goldens()
     print(f"wrote {GOLDEN_PATH}")
+    for path in save_artifacts():
+        print(f"wrote {path}")

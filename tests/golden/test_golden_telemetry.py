@@ -1,0 +1,73 @@
+"""Pin the telemetry exporter artefacts field by field."""
+
+import pytest
+
+from .fixture_telemetry import TRIOS, compute_artifacts, load_artifacts
+
+REGEN_HINT = (
+    "exporter output changed (regenerate with "
+    "`python -m tests.golden.regenerate` if intended)"
+)
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_artifacts()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_artifacts()
+
+
+def assert_json_equal(got, want, path):
+    """Field-by-field compare, naming the first diverging JSON path."""
+    if isinstance(want, dict):
+        assert isinstance(got, dict), f"{REGEN_HINT}: {path} is not an object"
+        assert sorted(got) == sorted(want), (
+            f"{REGEN_HINT}: keys differ at {path}: "
+            f"{sorted(set(got) ^ set(want))}"
+        )
+        for key in want:
+            assert_json_equal(got[key], want[key], f"{path}.{key}")
+    elif isinstance(want, list):
+        assert isinstance(got, list), f"{REGEN_HINT}: {path} is not an array"
+        assert len(got) == len(want), (
+            f"{REGEN_HINT}: {path} length moved {len(want)} -> {len(got)}"
+        )
+        for i, (a, b) in enumerate(zip(got, want)):
+            assert_json_equal(a, b, f"{path}[{i}]")
+    else:
+        assert got == want, (
+            f"{REGEN_HINT}: {path} moved {want!r} -> {got!r}"
+        )
+
+
+@pytest.mark.parametrize("name", [name for name, _, _ in TRIOS])
+def test_chrome_trace_matches_golden(name, current, golden):
+    got, _ = current[name]
+    want, _ = golden[name]
+    # json round-trip the live object so tuple/list and int/float
+    # representation match what the file format can express
+    import json
+
+    got = json.loads(json.dumps(got))
+    assert_json_equal(got, want, name)
+
+
+@pytest.mark.parametrize("name", [name for name, _, _ in TRIOS])
+def test_metrics_snapshot_matches_golden(name, current, golden):
+    import json
+
+    _, got = current[name]
+    _, want = golden[name]
+    got = json.loads(json.dumps(got))
+    assert_json_equal(got, want, f"{name}.metrics")
+
+
+def test_every_fixture_trio_has_both_artifacts(golden):
+    for name, _, _ in TRIOS:
+        trace, snapshot = golden[name]
+        assert trace["traceEvents"], f"{name}: empty trace"
+        assert snapshot["stats"], f"{name}: empty snapshot"
+        assert snapshot["meta"]["fixture"] == name

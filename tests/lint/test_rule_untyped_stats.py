@@ -1,0 +1,109 @@
+"""no-untyped-stats: typed stat accumulation in model code."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+BAD_AUG_ASSIGN = textwrap.dedent(
+    """
+    class System:
+        def on_drop(self):
+            self.fault_stats["dropped"] += 1
+    """
+)
+
+BAD_ASSIGN = textwrap.dedent(
+    """
+    def reset(core):
+        core.stats["cycles"] = 0
+    """
+)
+
+BAD_BARE_NAME = textwrap.dedent(
+    """
+    def account(run_stats, n):
+        run_stats["committed"] += n
+    """
+)
+
+OK_ATTRIBUTE_FIELD = textwrap.dedent(
+    """
+    class System:
+        def on_drop(self):
+            self.fault_stats.dropped += 1
+    """
+)
+
+OK_RUNTIME_KEY = textwrap.dedent(
+    """
+    def mark(fifo, seq, flag):
+        fifo.faulted[seq] = flag
+    """
+)
+
+OK_NON_STATS_DICT = textwrap.dedent(
+    """
+    def cache(table):
+        table["entry"] = 1
+    """
+)
+
+OK_READ_ONLY = textwrap.dedent(
+    """
+    def report(system):
+        return system.fault_stats["dropped"]
+    """
+)
+
+
+def findings(source, module="repro.core.system"):
+    return [
+        d for d in lint_source(source, module=module)
+        if d.rule == "no-untyped-stats"
+    ]
+
+
+def test_fires_on_string_keyed_increment():
+    assert findings(BAD_AUG_ASSIGN)
+
+
+def test_fires_on_string_keyed_assignment():
+    assert findings(BAD_ASSIGN)
+
+
+def test_fires_on_bare_stats_name():
+    assert findings(BAD_BARE_NAME)
+
+
+def test_typed_field_access_is_clean():
+    assert findings(OK_ATTRIBUTE_FIELD) == []
+
+
+def test_runtime_key_is_data_indexing_not_a_stat():
+    assert findings(OK_RUNTIME_KEY) == []
+
+
+def test_non_stats_container_is_clean():
+    assert findings(OK_NON_STATS_DICT) == []
+
+
+def test_reads_are_not_flagged():
+    # only writes mint new keys; consumers reading a key they believe
+    # exists are the symptom, not the disease
+    assert findings(OK_READ_ONLY) == []
+
+
+def test_silent_outside_model_scope():
+    # engine/experiment bookkeeping dicts are not timing-model stats
+    assert findings(BAD_AUG_ASSIGN, module="repro.engine.engine") == []
+
+
+def test_pragma_suppresses():
+    suppressed = textwrap.dedent(
+        """
+        class System:
+            def on_drop(self):
+                self.fault_stats["dropped"] += 1  # repro: allow-no-untyped-stats
+        """
+    )
+    assert findings(suppressed) == []

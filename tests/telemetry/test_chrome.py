@@ -1,0 +1,103 @@
+"""Chrome trace_event export: structure a Perfetto load depends on."""
+
+import json
+
+from repro.telemetry import Tracer, chrome_trace, write_chrome_trace
+
+
+def contest_tracer():
+    """A hand-scripted 2-core contest: leader 0, one handoff each way."""
+    tracer = Tracer()
+    tracer.register_core(0, "gcc", 500)
+    tracer.register_core(1, "vpr", 600)
+    tracer.set_initial_leader(0)
+    tracer.lead_change(2_000_000, 0, 1, 100)
+    tracer.skip(2_500_000, 0, 40, 60, 10_000)
+    tracer.lead_change(4_000_000, 1, 0, 200)
+    tracer.grb_transfer(4_200_000, 0, 1, 201, 5)
+    tracer.finalise_core(0, 300, 9000, 4_500_000)
+    tracer.finalise_core(1, 280, 7000, 4_200_000)
+    tracer.finish(4_500_000)
+    return tracer
+
+
+class TestEnvelope:
+    def test_top_level_shape(self):
+        obj = chrome_trace(contest_tracer())
+        assert set(obj) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert isinstance(obj["traceEvents"], list)
+        assert obj["otherData"]["cores"]["0"]["config"] == "gcc"
+        assert obj["otherData"]["cores"]["1"]["period_ps"] == 600
+
+    def test_process_and_thread_metadata(self):
+        events = chrome_trace(contest_tracer())["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        threads = [e for e in meta if e["name"] == "thread_name"]
+        assert {e["args"]["name"] for e in threads} == {
+            "core0 (gcc)", "core1 (vpr)",
+        }
+
+    def test_serialised_file_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", contest_tracer())
+        obj = json.loads(path.read_text())
+        assert obj["traceEvents"]
+
+
+class TestLeadSlices:
+    def test_slices_tile_the_run_without_gaps(self):
+        events = chrome_trace(contest_tracer())["traceEvents"]
+        slices = [e for e in events if e["name"] == "lead"]
+        assert [s["tid"] for s in slices] == [0, 1, 0]
+        # contiguous: each slice starts where the previous ended
+        for prev, cur in zip(slices, slices[1:]):
+            assert prev["ts"] + prev["dur"] == cur["ts"]
+        # and the final slice runs to the end-of-run timestamp (in us)
+        last = slices[-1]
+        assert last["ts"] + last["dur"] == 4_500_000 / 1e6
+
+    def test_timestamps_are_microseconds(self):
+        events = chrome_trace(contest_tracer())["traceEvents"]
+        change = next(e for e in events if e["name"] == "lead_change")
+        assert change["ts"] == 2_000_000 / 1e6
+
+    def test_standalone_run_has_no_lead_slices(self):
+        tracer = Tracer()
+        tracer.register_core(0, "gcc", 500)
+        tracer.finalise_core(0, 100, 500, 250_000)
+        tracer.finish(250_000)
+        events = chrome_trace(tracer)["traceEvents"]
+        assert [e for e in events if e["name"] == "lead"] == []
+
+
+class TestEventRendering:
+    def test_skip_is_a_complete_slice_with_duration(self):
+        events = chrome_trace(contest_tracer())["traceEvents"]
+        skip = next(e for e in events if e["name"] == "skip")
+        assert skip["ph"] == "X"
+        assert skip["dur"] == 10_000 / 1e6
+        assert skip["args"]["from_cycle"] == 40
+
+    def test_instants_carry_args(self):
+        events = chrome_trace(contest_tracer())["traceEvents"]
+        change = next(e for e in events if e["name"] == "lead_change")
+        assert change["ph"] == "i"
+        assert change["args"] == {"from": 0, "to": 1, "seq": 100}
+
+    def test_timeseries_become_counter_tracks(self):
+        events = chrome_trace(contest_tracer())["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(
+            e["name"] == "grb.fifo_occupancy.c1_from_c0" for e in counters
+        )
+
+    def test_full_detail_renders_grb_instants(self):
+        tracer = Tracer(detail="full")
+        tracer.register_core(0, "gcc", 500)
+        tracer.register_core(1, "vpr", 600)
+        tracer.grb_transfer(1000, 0, 1, 0, 1)
+        tracer.finish(2000)
+        events = chrome_trace(tracer)["traceEvents"]
+        grb = [e for e in events if e["name"] == "grb_transfer"]
+        assert len(grb) == 1 and grb[0]["ph"] == "i"

@@ -1,0 +1,107 @@
+"""Metrics JSONL snapshots, run manifests, and the store sidecar."""
+
+import json
+
+from repro.engine.store import ResultStore
+from repro.telemetry import (
+    StatRegistry,
+    build_manifest,
+    config_hash,
+    metrics_snapshot,
+    write_manifest,
+    write_metrics_jsonl,
+)
+
+
+def sample_registry():
+    reg = StatRegistry()
+    reg.counter("grb.transfers", "results", "transfers").inc(42)
+    reg.histogram("core0.retired_ops", "instructions", "ops").add("load", 7)
+    return reg
+
+
+class TestMetricsSnapshots:
+    def test_snapshot_embeds_meta_and_described_stats(self):
+        snap = metrics_snapshot(sample_registry(), meta={"bench": "gcc"})
+        assert snap["schema"] == 1
+        assert snap["meta"] == {"bench": "gcc"}
+        assert snap["stats"]["grb.transfers"]["value"] == 42
+        assert snap["stats"]["grb.transfers"]["unit"] == "results"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        snaps = [
+            metrics_snapshot(sample_registry(), meta={"run": i})
+            for i in range(3)
+        ]
+        path = write_metrics_jsonl(tmp_path / "m.jsonl", snaps)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert [json.loads(line)["meta"]["run"] for line in lines] == [0, 1, 2]
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"scale": "small"}) != config_hash(
+            {"scale": "default"}
+        )
+
+
+class TestRunManifest:
+    def test_build_captures_engine_counters(self):
+        from repro.engine import SimEngine
+
+        engine = SimEngine()
+        manifest = build_manifest(
+            scale="small", experiments=["fig06"], jobs=2,
+            cache_dir=None, no_cache=False, seed=11, wall_seconds=1.5,
+            engine=engine,
+        )
+        assert manifest.engine_stats["misses"] == 0.0
+        assert manifest.experiments == ("fig06",)
+        assert len(manifest.config_hash) == 64
+
+    def test_hash_ignores_outcome_fields(self):
+        kwargs = dict(
+            scale="small", experiments=["fig06"], jobs=1,
+            cache_dir=None, no_cache=False, seed=11,
+        )
+        a = build_manifest(wall_seconds=1.0, **kwargs)
+        b = build_manifest(wall_seconds=99.0, **kwargs)
+        assert a.config_hash == b.config_hash  # wall time is outcome
+        c = build_manifest(wall_seconds=1.0, **{**kwargs, "jobs": 4})
+        assert c.config_hash != a.config_hash  # parallelism is config
+
+    def test_write_manifest_is_valid_json(self, tmp_path):
+        manifest = build_manifest(
+            scale="default", experiments=[], jobs=1,
+            cache_dir="default", no_cache=False, seed=11, wall_seconds=0.1,
+        )
+        path = write_manifest(tmp_path / "manifest.json", manifest)
+        data = json.loads(path.read_text())
+        assert data["config_hash"] == manifest.config_hash
+        assert data["schema"] == 1
+
+
+class TestStoreSidecar:
+    def test_append_metrics_writes_next_to_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        snap = metrics_snapshot(sample_registry(), meta={"source": "test"})
+        store.append_metrics(snap)
+        store.append_metrics(snap)
+        sidecar = store.metrics_path
+        assert sidecar.parent == store.path.parent
+        assert sidecar.name.endswith(".metrics.jsonl")
+        lines = sidecar.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["meta"] == {"source": "test"}
+
+    def test_sidecar_does_not_disturb_the_result_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append_metrics({"schema": 1, "meta": {}, "stats": {}})
+        # a fresh load of the store must not see the sidecar as results
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 0
+        assert reloaded.corrupt_lines == 0

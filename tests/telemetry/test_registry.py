@@ -1,0 +1,121 @@
+"""StatRegistry semantics: declaration, conflicts, snapshots."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    StatRegistry,
+    TimeSeries,
+)
+
+
+class TestDeclaration:
+    def test_each_kind_declares_and_is_typed(self):
+        reg = StatRegistry()
+        assert isinstance(reg.counter("a", "events", "doc"), Counter)
+        assert isinstance(reg.gauge("b", "ps", "doc"), Gauge)
+        assert isinstance(reg.histogram("c", "ops", "doc"), Histogram)
+        assert isinstance(reg.timeseries("d", "results", "doc"), TimeSeries)
+        assert len(reg) == 4
+
+    def test_redeclaration_is_idempotent(self):
+        reg = StatRegistry()
+        first = reg.counter("grb.transfers", "results", "doc")
+        first.inc(5)
+        again = reg.counter("grb.transfers", "results", "doc")
+        assert again is first
+        assert again.value == 5
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = StatRegistry()
+        reg.counter("x", "events")
+        with pytest.raises(ValueError, match="already declared"):
+            reg.gauge("x", "events")
+
+    def test_unit_conflict_raises(self):
+        reg = StatRegistry()
+        reg.counter("x", "events")
+        with pytest.raises(ValueError, match="already declared"):
+            reg.counter("x", "cycles")
+
+    def test_empty_name_rejected(self):
+        reg = StatRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("")
+
+
+class TestStatBehaviour:
+    def test_counter_monotonic(self):
+        c = Counter("n", "events", "")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_overwrites(self):
+        g = Gauge("g", "ps", "")
+        g.set(1.0)
+        g.set(7.5)
+        assert g.snapshot_value() == 7.5
+
+    def test_histogram_total_equals_bucket_sum(self):
+        h = Histogram("h", "ops", "")
+        h.add("load", 3)
+        h.add("store")
+        h.add("load", 2)
+        assert h.total == 6
+        assert h.snapshot_value() == {"load": 5, "store": 1}
+        with pytest.raises(ValueError):
+            h.add("load", -1)
+
+    def test_timeseries_preserves_sample_order(self):
+        ts = TimeSeries("t", "results", "")
+        ts.sample(100, 1.0)
+        ts.sample(50, 2.0)  # order of recording, not of timestamps
+        assert ts.snapshot_value() == [(100, 1.0), (50, 2.0)]
+
+
+class TestAccessAndExport:
+    def test_getitem_error_names_known_stats(self):
+        reg = StatRegistry()
+        reg.counter("known.one")
+        with pytest.raises(KeyError, match="known.one"):
+            reg["absent"]
+
+    def test_iteration_is_sorted_by_name(self):
+        reg = StatRegistry()
+        reg.counter("zzz")
+        reg.counter("aaa")
+        reg.counter("mmm")
+        assert [s.name for s in reg] == ["aaa", "mmm", "zzz"]
+
+    def test_contains_and_get(self):
+        reg = StatRegistry()
+        reg.counter("present")
+        assert "present" in reg
+        assert "absent" not in reg
+        assert reg.get("absent") is None
+
+    def test_snapshot_and_describe_are_json_ready(self):
+        reg = StatRegistry()
+        reg.counter("c", "events", "count doc").inc(2)
+        reg.gauge("g", "ps", "gauge doc").set(1.5)
+        reg.histogram("h", "ops", "hist doc").add("ialu", 4)
+        reg.timeseries("t", "results", "ts doc").sample(10, 3.0)
+        snap = reg.snapshot()
+        desc = reg.describe()
+        json.dumps(snap)  # must not raise
+        json.dumps(desc)
+        assert snap == {
+            "c": 2, "g": 1.5, "h": {"ialu": 4}, "t": [(10, 3.0)],
+        }
+        assert desc["c"] == {
+            "kind": "counter", "unit": "events", "doc": "count doc",
+            "value": 2,
+        }

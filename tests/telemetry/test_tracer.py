@@ -1,0 +1,136 @@
+"""Tracer event recording, sampling, and finalisation."""
+
+import pytest
+
+from repro.telemetry import Tracer
+from repro.telemetry.tracer import OP_BUCKETS
+
+
+def make_tracer(**kwargs):
+    tracer = Tracer(**kwargs)
+    tracer.register_core(0, "gcc", 500)
+    tracer.register_core(1, "vpr", 600)
+    tracer.set_initial_leader(0)
+    return tracer
+
+
+class TestConstruction:
+    def test_rejects_unknown_detail(self):
+        with pytest.raises(ValueError, match="detail"):
+            Tracer(detail="everything")
+
+    def test_rejects_nonpositive_sampling(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            Tracer(sample_every=0)
+
+    def test_register_core_returns_one_slot_per_op_class(self):
+        tracer = Tracer()
+        ops = tracer.register_core(0, "gcc", 500)
+        assert ops == [0] * len(OP_BUCKETS)
+        assert tracer.op_counts(0) is ops
+        assert tracer.core_names == {0: "gcc"}
+        assert tracer.core_periods == {0: 500}
+
+
+class TestEvents:
+    def test_lead_change_event_and_counter_agree(self):
+        tracer = make_tracer()
+        tracer.lead_change(1000, 0, 1, 42)
+        tracer.lead_change(2000, 1, 0, 99)
+        events = [e for e in tracer.events if e.name == "lead_change"]
+        assert len(events) == 2
+        assert tracer.registry["contest.lead_changes"].value == 2
+        assert events[0].args == {"from": 0, "to": 1, "seq": 42}
+
+    def test_skip_records_jump_and_cycle_sum(self):
+        tracer = make_tracer()
+        tracer.skip(5000, 0, 10, 30, 10000)
+        tracer.skip(9000, 1, 5, 10, 3000)
+        assert tracer.registry["skip.jumps"].value == 2
+        assert tracer.registry["skip.cycles"].value == 25
+        skip = next(e for e in tracer.events if e.name == "skip")
+        assert skip.args["from_cycle"] == 10
+        assert skip.args["dur_ps"] == 10000
+
+    def test_fault_event_counts_by_kind(self):
+        tracer = make_tracer()
+        tracer.fault(100, 1, "kill", "vpr")
+        tracer.fault(200, 0, "stall", "750 cycles")
+        tracer.fault(300, 0, "stall", "750 cycles")
+        assert tracer.registry["faults.events"].value == 3
+        assert tracer.registry["faults.kill"].value == 1
+        assert tracer.registry["faults.stall"].value == 2
+
+    def test_saturated_and_resync_events(self):
+        tracer = make_tracer()
+        tracer.saturated(100, 1, "vpr")
+        tracer.resync(200, 1, 4096)
+        assert tracer.registry["contest.saturations"].value == 1
+        assert tracer.registry["contest.resyncs"].value == 1
+        assert [e.name for e in tracer.events] == ["saturated", "resync"]
+
+
+class TestGrbDetailModes:
+    def test_sampled_mode_counts_every_transfer_but_stores_no_events(self):
+        tracer = make_tracer(sample_every=4)
+        for seq in range(10):
+            tracer.grb_transfer(seq * 100, 0, 1, seq, seq)
+        assert tracer.registry["grb.transfers"].value == 10
+        assert [e for e in tracer.events if e.name == "grb_transfer"] == []
+        series = tracer.registry["grb.fifo_occupancy.c1_from_c0"]
+        # transfers 0, 4, 8 are sampled (first always, then every 4th)
+        assert series.samples == [(0, 0.0), (400, 4.0), (800, 8.0)]
+
+    def test_full_mode_records_each_transfer(self):
+        tracer = make_tracer(detail="full")
+        tracer.grb_transfer(100, 0, 1, 7, 3)
+        events = [e for e in tracer.events if e.name == "grb_transfer"]
+        assert len(events) == 1
+        assert events[0].args == {
+            "sender": 0, "seq": 7, "occupancy": 3, "fate": "ok",
+        }
+
+    def test_faulted_transfer_fates_counted_separately(self):
+        tracer = make_tracer()
+        tracer.grb_transfer(100, 0, 1, 0, 1, fate=1)  # XFER_DROP
+        tracer.grb_transfer(200, 0, 1, 1, 1, fate=2)  # XFER_CORRUPT
+        tracer.grb_transfer(300, 0, 1, 2, 1, fate=3)  # XFER_DELAY
+        assert tracer.registry["grb.transfers"].value == 3
+        assert tracer.registry["grb.dropped"].value == 1
+        assert tracer.registry["grb.corrupted"].value == 1
+        assert tracer.registry["grb.delayed"].value == 1
+
+    def test_links_sample_independently(self):
+        tracer = make_tracer(sample_every=64)
+        tracer.grb_transfer(100, 0, 1, 0, 1)
+        tracer.grb_transfer(200, 1, 0, 0, 2)
+        assert "grb.fifo_occupancy.c1_from_c0" in tracer.registry
+        assert "grb.fifo_occupancy.c0_from_c1" in tracer.registry
+
+
+class TestFinalisation:
+    def test_finalise_folds_op_counts_into_histogram(self):
+        tracer = make_tracer()
+        ops = tracer.op_counts(0)
+        ops[0] += 7   # ialu
+        ops[3] += 2   # load
+        tracer.finalise_core(0, committed=9, cycles=50, time_ps=25000)
+        hist = tracer.registry["core0.retired_ops"]
+        assert hist.snapshot_value() == {"ialu": 7, "load": 2}
+        assert hist.total == tracer.registry["core0.retired"].value == 9
+        assert tracer.registry["core0.cycles"].value == 50
+        assert tracer.registry["core0.time_ps"].value == 25000.0
+
+    def test_finalise_is_idempotent(self):
+        tracer = make_tracer()
+        tracer.op_counts(0)[0] += 4
+        tracer.finalise_core(0, committed=4, cycles=10, time_ps=5000)
+        tracer.finalise_core(0, committed=4, cycles=10, time_ps=5000)
+        assert tracer.registry["core0.retired"].value == 4
+        assert tracer.registry["core0.retired_ops"].total == 4
+
+    def test_finish_stamps_end_of_run(self):
+        tracer = make_tracer()
+        tracer.finish(123456)
+        assert tracer.end_ts_ps == 123456
+        assert tracer.registry["run.end_ts_ps"].value == 123456.0
