@@ -1,0 +1,41 @@
+"""Pluggable simulation backends (see :mod:`repro.backend.base`).
+
+Importing this package registers the built-in backends; instances are
+created lazily by :func:`get_backend`, so the columnar backend's NumPy
+requirement is only paid when it is actually selected.
+"""
+
+from repro.backend.base import (
+    BACKEND_CHOICES,
+    CONCRETE_BACKENDS,
+    BackendCapabilities,
+    BackendStats,
+    BackendUnavailable,
+    SimBackend,
+    backend_for_contest,
+    get_backend,
+    numpy_available,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.backend.columnar import ColumnarBackend
+from repro.backend.reference import ReferenceBackend
+
+register_backend("reference", ReferenceBackend)
+register_backend("columnar", ColumnarBackend)
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "CONCRETE_BACKENDS",
+    "BackendCapabilities",
+    "BackendStats",
+    "BackendUnavailable",
+    "ColumnarBackend",
+    "ReferenceBackend",
+    "SimBackend",
+    "backend_for_contest",
+    "get_backend",
+    "numpy_available",
+    "register_backend",
+    "resolve_backend_name",
+]

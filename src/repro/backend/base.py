@@ -1,0 +1,182 @@
+"""The simulation-backend protocol, capability flags, and registry.
+
+A *backend* is an interchangeable engine for executing one trace on one
+core configuration.  The cycle-stepped interpreter that has always powered
+the simulator is the **reference** backend
+(:mod:`repro.backend.reference`); the **columnar** backend
+(:mod:`repro.backend.columnar`) batches whole trace regions through NumPy
+array arithmetic and must produce bit-identical results — the differential
+suite (``tests/differential/test_backend.py``) enforces that, following the
+"fast model continuously validated against a reference model" methodology
+of *Validating Simplified Processor Models in Architectural Studies*.
+
+Backends advertise what they can simulate through
+:class:`BackendCapabilities`.  Work outside a backend's capability falls
+back to the reference backend *deterministically* (same inputs, same
+routing — the decision depends only on the job, never on wall clock or
+host state), and every fallback is counted with a reason on the backend's
+:class:`BackendStats` so a run can report how much of it actually used the
+fast path.
+
+Selection is by name: ``"reference"``, ``"columnar"``, or ``"auto"``
+(columnar when NumPy is importable, reference otherwise).  Jobs store only
+the two concrete names — resolving ``"auto"`` happens at the CLI/driver
+layer, so a job's cache key never depends on what happens to be installed.
+"""
+
+from dataclasses import dataclass, field
+from importlib import util as importlib_util
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from typing import Protocol
+
+if TYPE_CHECKING:  # runtime import would be circular through repro.uarch.run
+    from repro.isa.trace import Trace
+    from repro.uarch.config import CoreConfig
+    from repro.uarch.run import StandaloneResult
+
+
+class BackendUnavailable(RuntimeError):
+    """A backend was requested whose runtime requirements are missing.
+
+    Raised e.g. when ``--backend columnar`` is selected on an installation
+    without NumPy (install ``repro[fast]``).  ``"auto"`` never raises this:
+    it resolves to the reference backend instead.
+    """
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can simulate natively (everything else falls back).
+
+    ``standalone`` is the baseline every backend must support.  The other
+    flags mirror the job features that can appear on the engine's job
+    types: contested (multi-core) execution, fault-injection plans, live
+    telemetry observers, and per-region retirement logs.
+    """
+
+    standalone: bool = True
+    contests: bool = False
+    faults: bool = False
+    telemetry: bool = False
+    region_logs: bool = True
+
+
+@dataclass
+class BackendStats:
+    """Fast-path vs. fallback counters for one backend instance."""
+
+    #: runs completed natively by this backend
+    fast_runs: int = 0
+    #: runs routed to the reference backend instead
+    fallback_runs: int = 0
+    #: fallback count by reason (``"memory-ops"``, ``"dep-pressure"``, ...)
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def record_fallback(self, reason: str) -> None:
+        """Count one fallback under ``reason``."""
+        self.fallback_runs += 1
+        self.fallback_reasons[reason] = (
+            self.fallback_reasons.get(reason, 0) + 1
+        )
+
+
+class SimBackend(Protocol):
+    """The execution-engine protocol every backend implements.
+
+    ``run_standalone`` must match :func:`repro.uarch.run.run_standalone`'s
+    semantics exactly — bit-identical :class:`StandaloneResult` for any
+    input the backend accepts natively, and a deterministic fallback to the
+    reference backend for anything else.
+    """
+
+    name: str
+    capabilities: BackendCapabilities
+    stats: BackendStats
+
+    def run_standalone(
+        self,
+        config: "CoreConfig",
+        trace: "Trace",
+        region_size: int = 0,
+        max_cycles: int = 0,
+        prewarm: bool = True,
+        skip_ahead: bool = True,
+        tracer: Optional[object] = None,
+    ) -> "StandaloneResult":
+        """Execute ``trace`` to completion on a core built from ``config``."""
+        ...
+
+
+#: The selectable backend names, as exposed by every ``--backend`` flag.
+BACKEND_CHOICES: Tuple[str, ...] = ("reference", "columnar", "auto")
+
+#: The concrete backend names a job may carry (``"auto"`` resolves to one
+#: of these before a job is built, so cache keys stay environment-free).
+CONCRETE_BACKENDS: Tuple[str, ...] = ("reference", "columnar")
+
+_FACTORIES: Dict[str, Callable[[], SimBackend]] = {}
+_INSTANCES: Dict[str, SimBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], SimBackend]) -> None:
+    """Register a backend factory under ``name`` (instantiated lazily,
+    one singleton per process)."""
+    _FACTORIES[name] = factory
+
+
+def get_backend(name: str) -> SimBackend:
+    """The process-wide singleton backend registered under ``name``.
+
+    ``name`` must be concrete — resolve ``"auto"`` through
+    :func:`resolve_backend_name` first.
+    """
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of "
+            f"{', '.join(sorted(_FACTORIES))}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def numpy_available() -> bool:
+    """Whether NumPy is importable (without importing it)."""
+    return importlib_util.find_spec("numpy") is not None
+
+
+def resolve_backend_name(name: str) -> str:
+    """Resolve a ``--backend`` value to a concrete backend name.
+
+    ``"auto"`` picks ``"columnar"`` when NumPy is importable and
+    ``"reference"`` otherwise; the concrete names pass through.  The result
+    is one of :data:`CONCRETE_BACKENDS`, so it is safe to store on a job.
+    """
+    if name == "auto":
+        return "columnar" if numpy_available() else "reference"
+    if name not in CONCRETE_BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of "
+            f"{', '.join(BACKEND_CHOICES)}"
+        )
+    return name
+
+
+def backend_for_contest(name: str) -> str:
+    """The concrete backend a contested run should drive cores with.
+
+    Contested execution is outside the columnar backend's capability
+    (resyncs, GRB injections, and fault windows re-couple the cores
+    mid-region), so a contest requested on a contest-incapable backend
+    falls back to the reference backend — deterministically, with the
+    fallback recorded on the requested backend's stats.
+    """
+    resolved = resolve_backend_name(name)
+    if resolved == "reference":
+        return resolved
+    backend = get_backend(resolved)
+    if backend.capabilities.contests:
+        return resolved
+    backend.stats.record_fallback("contest")
+    return "reference"

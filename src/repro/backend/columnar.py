@@ -1,0 +1,401 @@
+"""The columnar backend: whole-trace NumPy scheduling with exactness proofs.
+
+Instead of interpreting the pipeline cycle by cycle, this backend computes
+the complete per-instruction schedule — fetch, dispatch, issue, complete,
+commit cycles — as closed-form array recurrences over the column-major
+``Trace.decoded`` layout, then *proves* the schedule exact with vectorized
+certificates before returning it.  Any run it cannot prove falls back to
+the reference backend deterministically (the decision is a pure function
+of the job), so results are bit-identical either way.
+
+How the schedule is exact
+-------------------------
+The reference :class:`~repro.uarch.core.Core` processes stages
+back-to-front (commit, complete, issue, dispatch, fetch).  For a trace
+with no memory operations, no syscalls and no injections, each stage is an
+in-order, width-limited conveyor:
+
+* **fetch** proceeds at ``width`` per cycle, breaking the fetch group
+  after taken or mispredicted branches; a mispredicted branch ``b``
+  freezes fetch from ``F[b]+1`` until its complete cycle ``C[b]`` (the
+  complete stage runs before fetch, so fetch resumes *at* ``C[b]``).
+  Within one stall-free segment the fetch cycles have a closed form via
+  stretch packing; segments are processed in order because each stall
+  release cycle is the previous segment's branch-complete cycle.
+* **dispatch / issue / commit** are max-plus closures: e.g.
+  ``D[i] = max(F[i]+fe, D[i-1], D[i-width]+1)``, whose solution
+  ``max_j base[j] + floor((i-j)/width)`` is computed in
+  O(n log n) by a running max followed by width-doubling passes.
+
+That conveyor picture assumes (a) no dependency ever delays issue past
+``D[i]+1`` and (b) no queue (fetch queue, ROB, IQ) ever fills.  Both are
+*verified after the fact* on the computed schedule: dependency slack
+(``C[dep]+awaken <= D[i]+1`` for every still-in-flight producer) and
+queue occupancies (rank differences via ``searchsorted`` on the monotone
+stage arrays).  A first-divergence argument makes the certificates sound:
+if the real machine ever deviated from the conveyor schedule, the first
+deviation would be a dependency or occupancy violation at a cycle the
+certificates inspect.  Certificate failure is not an error — it is a
+fallback reason, counted on :attr:`ColumnarBackend.stats`.
+
+Capability envelope
+-------------------
+Standalone runs whose traces contain only IALU/IMUL/IDIV/BRANCH ops.
+Loads and stores are out (cache and MSHR state depend on out-of-order
+issue order), as are syscalls (commit-stall machinery), NOPs
+(dispatch-stage early completion), telemetry observers (per-event hooks),
+and contested or fault-injected execution (cores re-couple mid-region).
+NumPy itself is imported lazily: the base install works without it, and
+requesting this backend without NumPy raises
+:class:`~repro.backend.base.BackendUnavailable` (install ``repro[fast]``).
+"""
+
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.backend.base import (
+    BackendCapabilities,
+    BackendStats,
+    BackendUnavailable,
+    get_backend,
+)
+from repro.isa.trace import Trace
+from repro.uarch.branch import make_predictor
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import (
+    _EXEC_LAT,
+    OP_BRANCH,
+    OP_LOAD,
+    OP_NOP,
+    OP_STORE,
+    OP_SYSCALL,
+    RunStats,
+)
+
+if TYPE_CHECKING:
+    from repro.uarch.run import StandaloneResult
+
+_np: Optional[Any] = None  # cached module handle after the first import
+
+
+def _import_numpy() -> Any:
+    # separated from _require_numpy so tests can monkeypatch NumPy absence
+    import numpy
+
+    return numpy
+
+
+def _require_numpy() -> Any:
+    global _np
+    if _np is None:
+        try:
+            _np = _import_numpy()
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "the columnar backend requires NumPy, which is not "
+                "installed; install the fast extra (pip install "
+                "'repro[fast]') or select --backend reference"
+            ) from exc
+    return _np
+
+
+class ColumnarBackend:
+    """Vectorized standalone execution with reference fallback."""
+
+    name = "columnar"
+    capabilities = BackendCapabilities(
+        standalone=True,
+        contests=False,
+        faults=False,
+        telemetry=False,
+        region_logs=True,
+    )
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+
+    def run_standalone(
+        self,
+        config: CoreConfig,
+        trace: Trace,
+        region_size: int = 0,
+        max_cycles: int = 0,
+        prewarm: bool = True,
+        skip_ahead: bool = True,
+        tracer: Optional[Any] = None,
+    ) -> "StandaloneResult":
+        """Execute ``trace``, vectorized when provably exact.
+
+        ``skip_ahead`` is accepted for signature compatibility; the fast
+        path has no cycle loop to skip, and fallbacks forward it.
+        """
+        # The telemetry capability check comes before the NumPy import:
+        # it is a pure capability question, answerable without NumPy.
+        if tracer is not None:
+            return self._fallback(
+                "telemetry", config, trace, region_size, max_cycles,
+                prewarm, skip_ahead, tracer,
+            )
+        np = _require_numpy()
+        result, reason = _schedule(
+            np, config, trace, region_size, max_cycles, prewarm
+        )
+        if result is not None:
+            self.stats.fast_runs += 1
+            return result
+        assert reason is not None
+        return self._fallback(
+            reason, config, trace, region_size, max_cycles, prewarm,
+            skip_ahead, tracer,
+        )
+
+    def _fallback(
+        self,
+        reason: str,
+        config: CoreConfig,
+        trace: Trace,
+        region_size: int,
+        max_cycles: int,
+        prewarm: bool,
+        skip_ahead: bool,
+        tracer: Optional[Any],
+    ) -> "StandaloneResult":
+        self.stats.record_fallback(reason)
+        return get_backend("reference").run_standalone(
+            config,
+            trace,
+            region_size=region_size,
+            max_cycles=max_cycles,
+            prewarm=prewarm,
+            skip_ahead=skip_ahead,
+            tracer=tracer,
+        )
+
+
+def _static_reason(np: Any, ops: Any) -> Optional[str]:
+    """The capability reason ruling this trace out, or None if it is in."""
+    if ops.size == 0:
+        return "empty-trace"
+    counts = np.bincount(ops, minlength=OP_NOP + 1)
+    if counts[OP_LOAD] or counts[OP_STORE]:
+        return "memory-ops"
+    if counts[OP_SYSCALL]:
+        return "syscalls"
+    if counts[OP_NOP]:
+        return "nops"
+    return None
+
+
+def _branch_outcomes(
+    np: Any, config: CoreConfig, decoded: Any, branch_idx: Any, prewarm: bool
+) -> Any:
+    """Mispredict flags per instruction, replaying the predictor exactly.
+
+    The reference front end predicts and then trains at fetch, in program
+    order, over correct-path outcomes only — so predictor state is a pure
+    function of the branch outcome sequence and can be replayed up front
+    (including the prewarm pass).  This is the one sequential loop in the
+    backend; it visits branches only.
+    """
+    mis = np.zeros(len(decoded.ops), dtype=bool)
+    if config.perfect_predictor or branch_idx.size == 0:
+        return mis
+    predictor = make_predictor(config.predictor, config.predictor_entries)
+    pcs = decoded.pcs
+    takens = decoded.takens
+    branches = branch_idx.tolist()
+    if prewarm:
+        for b in branches:
+            predictor.update(pcs[b], takens[b])
+    flags = []
+    for b in branches:
+        pc = pcs[b]
+        taken = takens[b]
+        flags.append(predictor.predict(pc) != taken)
+        predictor.update(pc, taken)
+    mis[branch_idx] = flags
+    return mis
+
+
+def _conveyor(np: Any, base: Any, width: int, tail: Optional[Any]) -> Any:
+    """Closure of ``base`` under ``X[i] >= X[i-1]`` and
+    ``X[i] >= X[i-width] + 1`` — an in-order stage draining ``width``
+    entries per cycle.
+
+    The solution is ``X[i] = max_j base[j] + (i-j)//width``: a running max
+    realises the zero-cost steps, then width-doubling passes (shift ``w``
+    add 1, shift ``2w`` add 2, ...) realise any count of width steps via
+    its binary decomposition.  Each pass keeps the array monotone and
+    never overshoots the closure, so the result is exact, in O(n log n).
+
+    ``tail`` carries the final values of the preceding ``width`` entries
+    when a segment is closed incrementally; older entries cannot bind
+    because the tail already dominates them (the closure property held
+    when they were computed).
+    """
+    if tail is not None and tail.size:
+        ext = np.concatenate((tail, base))
+        cut = int(tail.size)
+    else:
+        ext = base.copy()
+        cut = 0
+    np.maximum.accumulate(ext, out=ext)
+    shift = width
+    add = 1
+    size = ext.size
+    while shift < size:
+        np.maximum(ext[shift:], ext[:-shift] + add, out=ext[shift:])
+        shift *= 2
+        add *= 2
+    return ext[cut:]
+
+
+def _fetch_segment(
+    np: Any, fetch: Any, brk: Any, s: int, e: int, start: int, width: int
+) -> None:
+    """Fetch cycles for one stall-free segment ``[s, e)`` starting at
+    cycle ``start``, by stretch packing.
+
+    A *stretch* is a maximal run of instructions with no fetch break
+    (taken or mispredicted branch) between them.  Fetch packs ``width``
+    instructions per cycle within a stretch and resumes on the next cycle
+    after a break, so a stretch of length L beginning at cycle ``b``
+    spans ``b .. b + (L-1)//width`` and the next stretch begins one cycle
+    later.
+    """
+    m = e - s
+    bseg = brk[s:e]
+    inner = np.flatnonzero(bseg[:-1])  # breaks strictly inside the segment
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), inner + 1))
+    lens = np.diff(np.concatenate((starts, np.asarray([m], dtype=np.int64))))
+    costs = (lens - 1) // width + 1
+    bases = start + np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(costs[:-1]))
+    )
+    stretch = np.zeros(m, dtype=np.int64)
+    stretch[1:] = np.cumsum(bseg[:-1])
+    offs = np.arange(m, dtype=np.int64) - starts[stretch]
+    fetch[s:e] = bases[stretch] + offs // width
+
+
+def _schedule(
+    np: Any,
+    config: CoreConfig,
+    trace: Trace,
+    region_size: int,
+    max_cycles: int,
+    prewarm: bool,
+) -> Tuple[Optional["StandaloneResult"], Optional[str]]:
+    """Compute the exact schedule, or a fallback reason."""
+    from repro.uarch.run import StandaloneResult
+
+    decoded = trace.decoded()
+    ops = np.asarray(decoded.ops, dtype=np.int64)
+    reason = _static_reason(np, ops)
+    if reason is not None:
+        return None, reason
+    n = int(ops.size)
+    width = config.width
+    fe_depth = config.frontend_depth
+    sched = config.sched_depth
+    awaken = config.awaken_latency
+
+    takens = np.asarray(decoded.takens, dtype=bool)
+    is_branch = ops == OP_BRANCH
+    branch_idx = np.flatnonzero(is_branch)
+    mis = _branch_outcomes(np, config, decoded, branch_idx, prewarm)
+    brk = is_branch & (mis | takens)  # fetch-group breaks
+    mis_idx = np.flatnonzero(mis)
+
+    fetch = np.empty(n, dtype=np.int64)
+    disp = np.empty(n, dtype=np.int64)
+    issue = np.empty(n, dtype=np.int64)
+    comp = np.empty(n, dtype=np.int64)
+    lat = np.asarray(_EXEC_LAT, dtype=np.int64)[ops]
+
+    # Segments end at mispredicted branches (inclusive); the next segment's
+    # fetch resumes at that branch's complete cycle, so segments are closed
+    # left to right, carrying `width`-deep conveyor tails across.
+    bounds = mis_idx.tolist()
+    s = 0
+    start = 0
+    for k in range(len(bounds) + 1):
+        e = bounds[k] + 1 if k < len(bounds) else n
+        if e > s:
+            _fetch_segment(np, fetch, brk, s, e, start, width)
+            disp[s:e] = _conveyor(
+                np, fetch[s:e] + fe_depth, width, disp[max(0, s - width):s]
+            )
+            issue[s:e] = _conveyor(
+                np, disp[s:e] + 1, width, issue[max(0, s - width):s]
+            )
+            comp[s:e] = issue[s:e] + sched + lat[s:e]
+        if k < len(bounds):
+            start = int(comp[bounds[k]])
+        s = e
+    commit = _conveyor(np, comp + 1, width, None)
+
+    # --- exactness certificates (any failure -> deterministic fallback) ---
+    # Dependencies must never delay issue past disp+1: every producer still
+    # in flight at the consumer's dispatch must satisfy the wakeup bound.
+    for deps_col in (decoded.deps1, decoded.deps2):
+        deps = np.asarray(deps_col, dtype=np.int64)
+        have = deps >= 0
+        if np.any(have):
+            producers = deps[have]
+            slack_bad = comp[producers] + awaken > disp[have] + 1
+            in_flight = commit[producers] > disp[have]
+            if np.any(slack_bad & in_flight):
+                return None, "dep-pressure"
+    # Queues must never fill at insertion time.  Occupancy is a rank
+    # difference on the monotone stage arrays; the draining stage runs
+    # earlier in the cycle than the inserting one, so side="right" matches
+    # the reference's same-cycle free-then-insert ordering.
+    rank = np.arange(n, dtype=np.int64)
+    if np.any(
+        rank - np.searchsorted(disp, fetch, side="right")
+        >= config.fetch_queue_size
+    ):
+        return None, "fetch-queue-pressure"
+    if np.any(
+        rank - np.searchsorted(commit, disp, side="right") >= config.rob_size
+    ):
+        return None, "rob-pressure"
+    if np.any(
+        rank - np.searchsorted(issue, disp, side="right") >= config.iq_size
+    ):
+        return None, "iq-pressure"
+
+    # --- assemble the result exactly as the reference loop would ---------
+    cycles = int(commit[n - 1]) + 1
+    limit = max_cycles or (n * (config.mem_latency + 64) + 100_000)
+    if cycles > limit:
+        raise RuntimeError(
+            f"core {config.name} exceeded {limit} cycles on trace "
+            f"{trace.name}: likely a pipeline deadlock"
+        )
+    period = config.period_ps
+    stats = RunStats()
+    stats.cycles = cycles
+    stats.committed = n
+    stats.branches = int(branch_idx.size)
+    stats.mispredicts = int(mis_idx.size)
+    if mis_idx.size:
+        # fetch froze over [F[b]+1, C[b]-1] for each mispredicted branch
+        stats.fetch_stall_cycles = int(
+            np.sum(comp[mis_idx] - fetch[mis_idx] - 1)
+        )
+    regions: List[int] = []
+    if region_size:
+        marks = np.arange(region_size - 1, n, region_size, dtype=np.int64)
+        regions = [int(t) for t in (commit[marks] + 1) * period]
+    stats.region_times_ps = regions
+    result = StandaloneResult(
+        config_name=config.name,
+        trace_name=trace.name,
+        instructions=n,
+        cycles=cycles,
+        time_ps=cycles * period,
+        stats=stats,
+        region_times_ps=list(regions),
+    )
+    return result, None

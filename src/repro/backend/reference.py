@@ -1,0 +1,102 @@
+"""The reference backend: the cycle-stepped interpreter, unchanged.
+
+This is the execution loop that has always lived in
+:func:`repro.uarch.run.run_standalone`, moved behind the
+:class:`~repro.backend.base.SimBackend` protocol verbatim.  It is the
+ground truth every other backend is validated against, and the target of
+every capability fallback — so it supports the full feature surface:
+contests (driven by :class:`repro.core.system.ContestingSystem`, which
+steps :class:`~repro.uarch.core.Core` objects directly), fault plans,
+telemetry observers, and region logs.
+"""
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.backend.base import BackendCapabilities, BackendStats
+from repro.isa.trace import Trace
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import Core
+
+if TYPE_CHECKING:  # repro.uarch.run imports this package lazily at call time
+    from repro.uarch.run import StandaloneResult
+
+
+class ReferenceBackend:
+    """Cycle-stepped interpreter execution (the model of record)."""
+
+    name = "reference"
+    capabilities = BackendCapabilities(
+        standalone=True,
+        contests=True,
+        faults=True,
+        telemetry=True,
+        region_logs=True,
+    )
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+
+    def run_standalone(
+        self,
+        config: CoreConfig,
+        trace: Trace,
+        region_size: int = 0,
+        max_cycles: int = 0,
+        prewarm: bool = True,
+        skip_ahead: bool = True,
+        tracer: Optional[Any] = None,
+    ) -> "StandaloneResult":
+        """Execute ``trace`` to completion on a core built from ``config``.
+
+        See :func:`repro.uarch.run.run_standalone` for the parameter
+        contract; that function is now a thin dispatcher onto this method.
+        """
+        from repro.uarch.run import StandaloneResult
+
+        core = Core(
+            config, trace, region_size=region_size, prewarm=prewarm,
+            tracer=tracer,
+        )
+        limit = max_cycles or (
+            len(trace) * (config.mem_latency + 64) + 100_000
+        )
+        if skip_ahead:
+            while not core.done:
+                core.step()
+                if core.cycle > limit:
+                    raise RuntimeError(
+                        f"core {config.name} exceeded {limit} cycles on trace "
+                        f"{trace.name}: likely a pipeline deadlock"
+                    )
+                if core.done:
+                    break
+                nxt = core.next_event_cycle()
+                if nxt > core.cycle:
+                    # a deadlocked core has no event at all: land just past
+                    # the limit so the step above raises exactly as the slow
+                    # loop
+                    core.skip_to(min(nxt, limit + 1))
+        else:
+            while not core.done:
+                core.step()
+                if core.cycle > limit:
+                    raise RuntimeError(
+                        f"core {config.name} exceeded {limit} cycles on trace "
+                        f"{trace.name}: likely a pipeline deadlock"
+                    )
+        core.collect_cache_stats()
+        if tracer is not None:
+            tracer.finalise_core(
+                core.core_id, core.stats.committed, core.cycle, core.time_ps
+            )
+            tracer.finish(core.time_ps)
+        self.stats.fast_runs += 1
+        return StandaloneResult(
+            config_name=config.name,
+            trace_name=trace.name,
+            instructions=len(trace),
+            cycles=core.cycle,
+            time_ps=core.time_ps,
+            stats=core.stats,
+            region_times_ps=list(core.stats.region_times_ps),
+        )

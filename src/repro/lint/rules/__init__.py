@@ -10,6 +10,7 @@ registered rule has a doc entry and a failing fixture).
 from repro.lint.rules import (  # noqa: F401  (side effect: registration)
     cache_key,
     dict_order,
+    duplicate_def,
     frozen_config,
     mutable_default,
     pickle_boundary,
@@ -21,6 +22,7 @@ from repro.lint.rules import (  # noqa: F401  (side effect: registration)
 __all__ = [
     "cache_key",
     "dict_order",
+    "duplicate_def",
     "frozen_config",
     "mutable_default",
     "pickle_boundary",

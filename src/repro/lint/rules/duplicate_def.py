@@ -1,0 +1,85 @@
+"""``duplicate-def``: a name bound twice in one class body shadows silently."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileContext, Rule, register
+
+#: decorator attribute accesses that legitimately re-bind an existing class
+#: attribute: property accessors and ``singledispatch(method)``'s
+#: ``.register``.
+_REBIND_ATTRS = frozenset(
+    {"setter", "getter", "deleter", "register", "overload"}
+)
+
+
+def _is_rebind_decorator(dec: ast.expr) -> bool:
+    """Whether the decorator makes re-binding the name intentional
+    (``@x.setter`` and friends, ``@dispatcher.register``, ``@overload``)."""
+    if isinstance(dec, ast.Call):
+        return _is_rebind_decorator(dec.func)
+    if isinstance(dec, ast.Attribute):
+        return dec.attr in _REBIND_ATTRS
+    if isinstance(dec, ast.Name):
+        return dec.id == "overload"
+    return False
+
+
+def _bound_names(stmt: ast.stmt) -> Iterator[Tuple[str, ast.stmt]]:
+    """Names a direct class-body statement binds, with the binding node.
+
+    Only plain ``def``/assignment forms count: conditional definitions
+    (``if TYPE_CHECKING`` / ``try`` import fallbacks) are nested statements
+    and deliberately out of scope — they bind alternatives, not duplicates.
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        if not any(_is_rebind_decorator(d) for d in stmt.decorator_list):
+            yield stmt.name, stmt
+    elif isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                yield target.id, stmt
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name):
+            yield stmt.target.id, stmt
+
+
+@register
+class DuplicateDef(Rule):
+    """Flag a class attribute defined twice in the same class body."""
+
+    name = "duplicate-def"
+    summary = "a class attribute bound twice; the second silently shadows"
+    rationale = (
+        "Python class bodies execute top to bottom, so a method, property "
+        "or field defined twice raises nothing — the later binding simply "
+        "replaces the earlier one, and the shadowed definition (often the "
+        "one with the docstring, or the one someone just edited) is dead "
+        "code that still reads as live. In a timing model a silently "
+        "shadowed property is a silently wrong counter. Deliberate "
+        "re-binding has explicit forms the rule recognises: property "
+        "setter/getter/deleter accessors, singledispatch .register, and "
+        "typing @overload."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            first_seen: Dict[str, ast.stmt] = {}
+            for stmt in node.body:
+                for name, binding in _bound_names(stmt):
+                    earlier = first_seen.get(name)
+                    if earlier is None:
+                        first_seen[name] = binding
+                        continue
+                    yield ctx.diag(
+                        self.name,
+                        binding,
+                        f"{name!r} is already defined in class {node.name} "
+                        f"at line {earlier.lineno}; this re-definition "
+                        "silently shadows it",
+                    )

@@ -262,10 +262,6 @@ class Core:
         """In-flight instructions currently occupying the ROB."""
         return len(self._rob) - self._rob_head
 
-    @property
-    def rob_occupancy(self) -> int:
-        return len(self._rob) - self._rob_head
-
     def ipt(self) -> float:
         """Instructions per nanosecond over the whole run so far."""
         if self.time_ps == 0:

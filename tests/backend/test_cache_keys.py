@@ -1,0 +1,64 @@
+"""The backend field's cache-key contract.
+
+Reference and columnar results must never alias one cache entry, and every
+pre-backend (implicitly reference) cache entry must keep its identity.
+"""
+
+import pytest
+
+from repro.engine import ContestJob, StandaloneJob, TraceSpec
+from repro.uarch.config import core_config
+
+SPEC = TraceSpec(profile="gcc", length=2_000, seed=11)
+
+
+def _standalone(backend=None):
+    if backend is None:
+        return StandaloneJob(core_config("gcc"), SPEC)
+    return StandaloneJob(core_config("gcc"), SPEC, backend=backend)
+
+
+def _contest(backend=None):
+    configs = (core_config("gcc"), core_config("mcf"))
+    if backend is None:
+        return ContestJob(configs=configs, trace=SPEC)
+    return ContestJob(configs=configs, trace=SPEC, backend=backend)
+
+
+def test_standalone_backends_never_share_cache_entries():
+    assert _standalone("reference").cache_key() != \
+        _standalone("columnar").cache_key()
+
+
+def test_contest_backends_never_share_cache_entries():
+    assert _contest("reference").cache_key() != \
+        _contest("columnar").cache_key()
+
+
+def test_reference_is_the_implicit_default_key():
+    # a job built before the backend field existed hashed without it;
+    # the explicit reference job must still land on those entries
+    assert _standalone().cache_key() == _standalone("reference").cache_key()
+    assert _contest().cache_key() == _contest("reference").cache_key()
+
+
+def test_jobs_reject_auto():
+    # "auto" depends on what is installed; a job carrying it would give
+    # one logical computation different keys on different machines
+    with pytest.raises(ValueError, match="concrete"):
+        _standalone("auto")
+    with pytest.raises(ValueError, match="concrete"):
+        _contest("auto")
+
+
+def test_jobs_reject_unknown_backends():
+    with pytest.raises(ValueError, match="concrete"):
+        _standalone("gpu")
+
+
+def test_backend_round_trips_through_the_job():
+    job = _standalone("columnar")
+    assert job.backend == "columnar"
+    # frozen dataclass: the field is part of the job's identity
+    assert job == _standalone("columnar")
+    assert job != _standalone("reference")

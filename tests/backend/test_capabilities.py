@@ -1,0 +1,81 @@
+"""Capability-driven fallbacks: deterministic routing, counted reasons."""
+
+import dataclasses
+
+from repro.backend import backend_for_contest, get_backend
+from repro.backend.columnar import ColumnarBackend
+from repro.isa.generator import generate_trace
+from repro.isa.phases import PhaseMix, PhaseType
+from repro.isa.workloads import workload_profile
+from repro.uarch.config import core_config
+from repro.telemetry import Tracer
+from repro.uarch.run import run_standalone
+
+
+def _compute_trace(length=1500, seed=7):
+    """A trace inside the columnar envelope: no loads/stores/syscalls."""
+    phase = PhaseType(
+        name="pure_compute",
+        load_frac=0.0, store_frac=0.0, branch_frac=0.05, imul_frac=0.10,
+        dep1_frac=0.0, two_src_frac=0.0, branch_bias=0.95,
+    )
+    mix = PhaseMix("pure_compute", [(phase, 1.0)])
+    return generate_trace(mix, length, seed=seed)
+
+
+def _memory_trace(length=800, seed=3):
+    """A trace outside the envelope (gcc profile: loads and stores)."""
+    return generate_trace(workload_profile("gcc"), length, seed=seed)
+
+
+def test_memory_ops_fall_back_with_reason():
+    backend = ColumnarBackend()
+    config = core_config("gcc")
+    trace = _memory_trace()
+    result = backend.run_standalone(config, trace)
+    assert backend.stats.fast_runs == 0
+    assert backend.stats.fallback_runs == 1
+    assert backend.stats.fallback_reasons == {"memory-ops": 1}
+    # the fallback is the reference computation, bit for bit
+    reference = run_standalone(config, trace, backend="reference")
+    assert dataclasses.asdict(result) == dataclasses.asdict(reference)
+
+
+def test_tracer_falls_back_before_touching_numpy():
+    backend = ColumnarBackend()
+    config = core_config("gcc")
+    trace = _compute_trace(length=400)
+    tracer = Tracer()
+    backend.run_standalone(config, trace, tracer=tracer)
+    assert backend.stats.fallback_reasons == {"telemetry": 1}
+    # the reference backend actually drove the tracer to completion
+    assert tracer.end_ts_ps is not None
+
+
+def test_in_envelope_run_engages_fast_path():
+    backend = ColumnarBackend()
+    config = core_config("gcc")
+    result = backend.run_standalone(config, _compute_trace())
+    assert backend.stats.fast_runs == 1
+    assert backend.stats.fallback_runs == 0
+    reference = run_standalone(config, _compute_trace(), backend="reference")
+    assert dataclasses.asdict(result) == dataclasses.asdict(reference)
+
+
+def test_fallback_routing_is_deterministic():
+    backend = ColumnarBackend()
+    config = core_config("gcc")
+    trace = _memory_trace()
+    backend.run_standalone(config, trace)
+    backend.run_standalone(config, trace)
+    # same job, same route, twice — never flaky, never cached away
+    assert backend.stats.fallback_reasons == {"memory-ops": 2}
+
+
+def test_contests_fall_back_to_reference():
+    columnar = get_backend("columnar")
+    before = dict(columnar.stats.fallback_reasons)
+    assert backend_for_contest("columnar") == "reference"
+    assert backend_for_contest("reference") == "reference"
+    after = columnar.stats.fallback_reasons
+    assert after.get("contest", 0) == before.get("contest", 0) + 1

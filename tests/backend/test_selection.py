@@ -1,0 +1,71 @@
+"""Backend name resolution, the registry, and NumPy availability."""
+
+import pytest
+
+from repro.backend import (
+    BACKEND_CHOICES,
+    CONCRETE_BACKENDS,
+    BackendUnavailable,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.backend import base as backend_base
+from repro.backend import columnar as columnar_mod
+
+
+def test_choices_cover_concrete_plus_auto():
+    assert set(BACKEND_CHOICES) == set(CONCRETE_BACKENDS) | {"auto"}
+
+
+def test_concrete_names_pass_through():
+    assert resolve_backend_name("reference") == "reference"
+    assert resolve_backend_name("columnar") == "columnar"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend_name("gpu")
+
+
+def test_auto_picks_columnar_when_numpy_importable(monkeypatch):
+    monkeypatch.setattr(backend_base, "numpy_available", lambda: True)
+    assert resolve_backend_name("auto") == "columnar"
+
+
+def test_auto_falls_back_to_reference_without_numpy(monkeypatch):
+    monkeypatch.setattr(backend_base, "numpy_available", lambda: False)
+    assert resolve_backend_name("auto") == "reference"
+
+
+def test_get_backend_is_a_singleton():
+    assert get_backend("reference") is get_backend("reference")
+    assert get_backend("columnar") is get_backend("columnar")
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("gpu")
+
+
+def test_backend_names_match_registry_keys():
+    for name in CONCRETE_BACKENDS:
+        assert get_backend(name).name == name
+
+
+def test_explicit_columnar_without_numpy_raises(monkeypatch):
+    """--backend columnar on a NumPy-free install must fail loudly, with
+    the remedy (the ``repro[fast]`` extra) in the message."""
+
+    def no_numpy():
+        raise ImportError("No module named 'numpy'")
+
+    monkeypatch.setattr(columnar_mod, "_np", None)
+    monkeypatch.setattr(columnar_mod, "_import_numpy", no_numpy)
+    backend = columnar_mod.ColumnarBackend()
+    from repro.isa.generator import generate_trace
+    from repro.isa.workloads import workload_profile
+    from repro.uarch.config import core_config
+
+    trace = generate_trace(workload_profile("gcc"), 200, seed=3)
+    with pytest.raises(BackendUnavailable, match=r"repro\[fast\]"):
+        backend.run_standalone(core_config("gcc"), trace)

@@ -1,0 +1,139 @@
+"""Columnar-vs-reference differential verification.
+
+The columnar backend's contract is *bit-identical* results: for any
+standalone job — whether the vectorized fast path engages or a capability
+certificate routes the run to the reference backend — every field of the
+:class:`~repro.uarch.run.StandaloneResult` must match the reference
+interpretation exactly, including per-region retire streams at
+``region_size=1``.  The fast tests cover a representative slice on every
+push; the ``slow``-marked full Appendix-A matrix runs nightly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.backend import get_backend
+from repro.isa.generator import generate_trace
+from repro.isa.phases import PhaseMix, PhaseType
+from repro.uarch.config import APPENDIX_A_CORES, core_config
+from repro.uarch.run import run_standalone
+
+from tests.differential.diffutil import (
+    PHASE_FACTORIES,
+    _assert_dicts_equal,
+    phase_trace,
+)
+
+np = pytest.importorskip("numpy")
+
+
+def compute_trace(seed=0, length=3000, **overrides):
+    """A trace inside the columnar envelope: IALU/IMUL/IDIV/branches only."""
+    knobs = dict(
+        load_frac=0.0, store_frac=0.0, branch_frac=0.06, imul_frac=0.10,
+        idiv_frac=0.01, dep1_frac=0.0, two_src_frac=0.0,
+        branch_bias=0.95, n_static_branches=12,
+    )
+    knobs.update(overrides)
+    phase = PhaseType(name="columnar_compute", **knobs)
+    mix = PhaseMix("columnar_compute", [(phase, 1.0)])
+    return generate_trace(mix, length, seed=seed)
+
+
+def assert_backend_identical(config, trace, **kwargs):
+    """Run both backends and require bit-identical results, naming the
+    first diverging stat."""
+    fast = run_standalone(config, trace, backend="columnar", **kwargs)
+    slow = run_standalone(config, trace, backend="reference", **kwargs)
+    _assert_dicts_equal(
+        dataclasses.asdict(fast),
+        dataclasses.asdict(slow),
+        f"backend {config.name} on {trace.name}",
+    )
+
+
+def engaged(fn):
+    """Run ``fn`` and assert the columnar fast path actually executed it
+    (a fallback would make the parity assertion vacuous)."""
+    stats = get_backend("columnar").stats
+    before = stats.fast_runs
+    fn()
+    assert stats.fast_runs > before, "columnar fast path did not engage"
+
+
+# a spread of Appendix-A microarchitectures: narrow/wide, deep/shallow
+# frontends, and both awaken latencies (0 and 3)
+FAST_CORES = ("gcc", "mcf", "crafty", "perl", "vortex")
+
+
+@pytest.mark.parametrize("core", FAST_CORES)
+def test_fast_path_parity_per_core(core):
+    config = core_config(core)
+    # light long-latency mix: even crafty's 64-entry ROB keeps up, so the
+    # fast path engages on every core in the spread
+    trace = compute_trace(seed=21, length=4000, imul_frac=0.05, idiv_frac=0.0)
+    engaged(lambda: assert_backend_identical(
+        config, trace, region_size=1, prewarm=True,
+    ))
+
+
+@pytest.mark.parametrize("prewarm", [True, False])
+def test_fast_path_parity_predictor_replay(prewarm):
+    # lower bias = denser mispredicts = more fetch-stall segments
+    trace = compute_trace(seed=5, length=3000, branch_bias=0.80)
+    engaged(lambda: assert_backend_identical(
+        core_config("gcc"), trace, region_size=1, prewarm=prewarm,
+    ))
+
+
+def test_fast_path_parity_perfect_predictor():
+    config = dataclasses.replace(
+        core_config("crafty"), perfect_predictor=True
+    )
+    trace = compute_trace(seed=9, imul_frac=0.05, idiv_frac=0.0)
+    engaged(lambda: assert_backend_identical(config, trace, region_size=1))
+
+
+def test_parity_with_register_dependencies():
+    # dependency-bearing traces: the dep-slack certificate decides whether
+    # the fast path holds; parity is required on either route
+    trace = compute_trace(
+        seed=13, length=3000, dep1_frac=0.5, two_src_frac=0.3, dep_window=24
+    )
+    for core in ("gcc", "perl"):
+        assert_backend_identical(core_config(core), trace, region_size=1)
+
+
+@pytest.mark.parametrize("template", ["wide_ilp", "branchy", "compute_mul"])
+def test_fallback_profile_parity(template):
+    # standard generator profiles carry loads/stores: these route to the
+    # reference backend, and the result must be bit-identical regardless
+    trace = phase_trace(template, length=2000, seed=3)
+    assert_backend_identical(core_config("gcc"), trace, region_size=1)
+
+
+def test_region_streams_match_without_regions():
+    # region_size=0 (no region log) is its own code path in both backends
+    engaged(lambda: assert_backend_identical(
+        core_config("vortex"), compute_trace(seed=2),
+    ))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("core", sorted(APPENDIX_A_CORES))
+def test_full_matrix_parity(core):
+    """Nightly: every Appendix-A core, multiple trace shapes, both
+    prewarm settings, 1-instruction retire streams."""
+    config = core_config(core)
+    shapes = [
+        compute_trace(seed=31, length=6000),
+        compute_trace(seed=32, length=6000, branch_bias=0.85),
+        compute_trace(seed=33, length=6000, dep1_frac=0.4, dep_window=16),
+        compute_trace(seed=34, length=6000, imul_frac=0.25, idiv_frac=0.05),
+    ]
+    for trace in shapes:
+        for prewarm in (True, False):
+            assert_backend_identical(
+                config, trace, region_size=1, prewarm=prewarm,
+            )

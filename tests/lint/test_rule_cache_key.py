@@ -64,6 +64,38 @@ OK_CLASSVAR_SKIPPED = textwrap.dedent(
 )
 
 
+BAD_BACKEND_ESCAPES_KEY = textwrap.dedent(
+    """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class StandaloneJob:
+        trace: str
+        backend: str = "reference"
+
+        def cache_key(self):
+            return hash(("standalone", self.trace))
+    """
+)
+
+OK_BACKEND_JOINS_CONDITIONALLY = textwrap.dedent(
+    """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class StandaloneJob:
+        trace: str
+        backend: str = "reference"
+
+        def cache_key(self):
+            parts = ("standalone", self.trace)
+            if self.backend != "reference":
+                parts += (("backend", self.backend),)
+            return hash(parts)
+    """
+)
+
+
 def findings(source, module="repro.engine.jobs"):
     return [
         d for d in lint_source(source, module=module)
@@ -89,6 +121,20 @@ def test_astuple_covers_all_fields():
 
 def test_classvar_attrs_are_not_fields():
     assert findings(OK_CLASSVAR_SKIPPED) == []
+
+
+def test_fires_when_backend_escapes_the_key():
+    # a backend-bearing job whose key ignores the backend aliases the
+    # reference and columnar engines onto one cache entry
+    fired = findings(BAD_BACKEND_ESCAPES_KEY)
+    assert len(fired) == 1
+    assert "backend" in fired[0].message
+
+
+def test_conditional_backend_read_covers_the_field():
+    # the real jobs fold the backend in only when it is non-default; a
+    # conditional self.backend read still counts as coverage
+    assert findings(OK_BACKEND_JOINS_CONDITIONALLY) == []
 
 
 def test_applies_tree_wide():

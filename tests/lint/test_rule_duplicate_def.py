@@ -1,0 +1,186 @@
+"""duplicate-def: a class attribute bound twice silently shadows."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+# mirrors the real bug this rule was written for: Core.rob_occupancy was
+# defined twice, and the docstring-less copy silently won
+BAD_DOUBLE_PROPERTY = textwrap.dedent(
+    """
+    class Core:
+        @property
+        def rob_occupancy(self):
+            \"\"\"Instructions dispatched but not yet committed.\"\"\"
+            return len(self._rob)
+
+        @property
+        def rob_occupancy(self):
+            return len(self._rob)
+    """
+)
+
+BAD_DOUBLE_METHOD = textwrap.dedent(
+    """
+    class Core:
+        def step(self):
+            return 1
+
+        def step(self):
+            return 2
+    """
+)
+
+BAD_DOUBLE_FIELD = textwrap.dedent(
+    """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Job:
+        seed: int
+        seed: int = 0
+    """
+)
+
+BAD_ASSIGN_SHADOWS_METHOD = textwrap.dedent(
+    """
+    class Core:
+        def width(self):
+            return self._width
+
+        width = 4
+    """
+)
+
+OK_PROPERTY_SETTER = textwrap.dedent(
+    """
+    class Core:
+        @property
+        def width(self):
+            return self._width
+
+        @width.setter
+        def width(self, value):
+            self._width = value
+
+        @width.deleter
+        def width(self):
+            del self._width
+    """
+)
+
+OK_OVERLOAD = textwrap.dedent(
+    """
+    from typing import overload
+
+    class Trace:
+        @overload
+        def __getitem__(self, index: int) -> int: ...
+
+        @overload
+        def __getitem__(self, index: slice) -> list: ...
+
+        def __getitem__(self, index):
+            return self._ops[index]
+    """
+)
+
+OK_SINGLEDISPATCH_REGISTER = textwrap.dedent(
+    """
+    from functools import singledispatchmethod
+
+    class Renderer:
+        @singledispatchmethod
+        def render(self, value):
+            return str(value)
+
+        @render.register
+        def _render_int(self, value: int):
+            return hex(value)
+    """
+)
+
+OK_CONDITIONAL_DEFINITION = textwrap.dedent(
+    """
+    class Shim:
+        try:
+            from math import prod as _prod
+        except ImportError:
+            def _prod(self, values):
+                out = 1
+                for v in values:
+                    out *= v
+                return out
+    """
+)
+
+OK_DISTINCT_NAMES = textwrap.dedent(
+    """
+    class Core:
+        width = 4
+
+        def step(self):
+            return self.width
+    """
+)
+
+
+def findings(source, module="repro.uarch.core"):
+    return [
+        d for d in lint_source(source, module=module)
+        if d.rule == "duplicate-def"
+    ]
+
+
+def test_fires_on_duplicate_property():
+    fired = findings(BAD_DOUBLE_PROPERTY)
+    assert len(fired) == 1
+    assert "rob_occupancy" in fired[0].message
+    # anchored at the shadowing definition, naming the shadowed line
+    assert fired[0].line == 9
+    assert "line 4" in fired[0].message
+
+
+def test_fires_on_duplicate_method():
+    fired = findings(BAD_DOUBLE_METHOD)
+    assert len(fired) == 1
+    assert "step" in fired[0].message
+
+
+def test_fires_on_duplicate_dataclass_field():
+    fired = findings(BAD_DOUBLE_FIELD, module="repro.engine.jobs")
+    assert len(fired) == 1
+    assert "seed" in fired[0].message
+
+
+def test_fires_when_assignment_shadows_method():
+    fired = findings(BAD_ASSIGN_SHADOWS_METHOD)
+    assert len(fired) == 1
+    assert "width" in fired[0].message
+
+
+def test_property_accessors_are_clean():
+    assert findings(OK_PROPERTY_SETTER) == []
+
+
+def test_typing_overload_is_clean():
+    assert findings(OK_OVERLOAD) == []
+
+
+def test_singledispatch_register_is_clean():
+    assert findings(OK_SINGLEDISPATCH_REGISTER) == []
+
+
+def test_conditional_fallback_definitions_are_clean():
+    # only direct class-body statements count: try/except import fallbacks
+    # (and if TYPE_CHECKING blocks) bind alternatives, not duplicates
+    assert findings(OK_CONDITIONAL_DEFINITION) == []
+
+
+def test_distinct_names_are_clean():
+    assert findings(OK_DISTINCT_NAMES) == []
+
+
+def test_applies_tree_wide():
+    # not restricted to model scope: a duplicate in any module is a bug
+    assert findings(BAD_DOUBLE_METHOD, module="repro.experiments.common")
