@@ -1,0 +1,33 @@
+"""Load-time guard for the persistent result store.
+
+Not a paper figure — this pins the cost of ``ResultStore._load`` after
+the streaming + CRC-framing rewrite: a store of tens of thousands of
+records must load in well under a second, line by line, with no
+whole-file slurp.  Run with ``pytest benchmarks/test_store_load.py
+--benchmark-only``.
+"""
+
+from conftest import run_once
+
+from repro.engine.store import ResultStore, frame_record
+
+N_RECORDS = 20_000
+
+
+def _populate(path):
+    value = {"stats": {"cycles": 123456, "committed": 20000}, "ipc": 1.61}
+    with open(path, "wb") as fh:
+        for i in range(N_RECORDS):
+            fh.write(frame_record(f"key-{i:06d}", "standalone", value))
+    return path
+
+
+def test_store_load_streams(benchmark, tmp_path):
+    path = _populate(tmp_path / "results-v1.jsonl")
+
+    def load():
+        return ResultStore(path)
+
+    store = run_once(benchmark, load)
+    assert len(store) == N_RECORDS
+    assert store.counters()["corrupt_lines"] == 0

@@ -118,6 +118,24 @@ CONCRETE_BACKENDS: Tuple[str, ...] = ("reference", "columnar")
 _FACTORIES: Dict[str, Callable[[], SimBackend]] = {}
 _INSTANCES: Dict[str, SimBackend] = {}
 
+#: Optional chaos hook consulted on every dispatch (``repro.chaos``): the
+#: hoisted ``is not None`` check keeps the unhooked fast path at a single
+#: pointer comparison, the same pattern as the telemetry observers.
+_CHAOS_GET_HOOK: Optional[Callable[[str], None]] = None
+
+
+def install_backend_chaos_hook(
+    hook: Optional[Callable[[str], None]]
+) -> None:
+    """Install (or with ``None`` clear) the process-global dispatch hook.
+
+    The hook runs at the top of :func:`get_backend` with the requested
+    name and may raise to simulate a backend failing mid-job
+    (:class:`repro.chaos.hooks.ChaosBackendError`).  Test machinery only.
+    """
+    global _CHAOS_GET_HOOK
+    _CHAOS_GET_HOOK = hook
+
 
 def register_backend(name: str, factory: Callable[[], SimBackend]) -> None:
     """Register a backend factory under ``name`` (instantiated lazily,
@@ -131,6 +149,8 @@ def get_backend(name: str) -> SimBackend:
     ``name`` must be concrete — resolve ``"auto"`` through
     :func:`resolve_backend_name` first.
     """
+    if _CHAOS_GET_HOOK is not None:
+        _CHAOS_GET_HOOK(name)
     if name not in _FACTORIES:
         raise ValueError(
             f"unknown backend {name!r}; expected one of "

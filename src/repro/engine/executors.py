@@ -29,10 +29,11 @@ each chunk as its own future and survives every per-job failure mode —
   isolate the poisoned job, whose attempts then burn down to a failure
   while its innocent chunk-mates complete;
 * a job that **hangs** past ``job_timeout_s`` is detected by a watchdog
-  that kills the workers (a hung worker cannot be cancelled), respawns the
-  pool, and fails the timed-out job (multi-job chunks are first split to
-  attribute the overrun); chunks lost as collateral re-run without
-  spending an attempt;
+  that kills the workers (a hung worker cannot be cancelled) and respawns
+  the pool; the timed-out job spends an attempt and is retried under the
+  same policy — only exhausting ``max_attempts`` reports a ``JobTimeout``
+  failure (multi-job chunks are first split to attribute the overrun);
+  chunks lost as collateral re-run without spending an attempt;
 * if the pool cannot be (re)created at all, everything left degrades to a
   guarded serial run in the calling process.
 
@@ -49,11 +50,23 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from random import Random
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
+from repro.chaos.hooks import Action, apply_action
 from repro.engine.failures import JobFailure, job_kind
 from repro.engine.jobs import SimJob, execute_job
 from repro.util.rng import substream
+
+if TYPE_CHECKING:  # the chaos runtime is an optional observer, typing only
+    from repro.chaos.engine import HarnessChaos
 
 _log = logging.getLogger("repro.engine")
 
@@ -81,18 +94,30 @@ def derive_chunk_size(n_jobs: int, workers: int, requested: int = 0) -> int:
     return size
 
 
-def _run_chunk(jobs: List[SimJob]) -> List[Tuple[object, ...]]:
+def _run_chunk(
+    jobs: List[SimJob],
+    actions: Optional[Tuple[Optional["Action"], ...]] = None,
+) -> List[Tuple[object, ...]]:
     """Worker-side chunk runner with per-job exception capture.
 
     Returns one outcome per job, in order: ``("ok", result, seconds)`` or
     ``("err", type_name, message, formatted_traceback, seconds)``.  A
     raising job therefore never poisons its chunk-mates; only a death of
     the worker process itself (OOM, SIGKILL) loses the chunk.
+
+    ``actions`` is the chaos side-channel (``ParallelExecutor(chaos=...)``):
+    one optional directive per job slot, applied blindly before that job
+    runs — the parent makes every injection decision, workers hold no
+    chaos state (:mod:`repro.chaos.hooks`).  ``None`` (the invariable
+    production value) skips the branch entirely.
     """
     out: List[Tuple[object, ...]] = []
-    for job in jobs:
+    for slot, job in enumerate(jobs):
+        action = actions[slot] if actions is not None else None
         started = time.perf_counter()
         try:
+            if action is not None:
+                apply_action(action)
             result = job.run()
         except Exception as exc:
             out.append((
@@ -206,6 +231,11 @@ class ParallelExecutor:
     retry:
         The :class:`RetryPolicy`; ``None`` uses the defaults (3 attempts,
         50 ms base backoff, no per-job timeout).
+    chaos:
+        Optional :class:`~repro.chaos.engine.HarnessChaos` fault injector
+        (tests): may break the pool at submit and attach worker-side
+        directives (kill/hang/slow/backend-fail) to chunk submissions.
+        ``None`` — the production value — takes none of those branches.
     """
 
     def __init__(
@@ -213,12 +243,14 @@ class ParallelExecutor:
         workers: int = 0,
         chunk_size: int = 0,
         retry: Optional[RetryPolicy] = None,
+        chaos: Optional["HarnessChaos"] = None,
     ) -> None:
         if workers < 0 or chunk_size < 0:
             raise ValueError("workers and chunk_size must be >= 0")
         self.workers = workers or os.cpu_count() or 1
         self.chunk_size = chunk_size
         self.retry = retry or RetryPolicy()
+        self._chaos = chaos
 
     def run(self, jobs: Sequence[SimJob]) -> List[Tuple[object, float]]:
         """Execute the jobs across worker processes; order is preserved.
@@ -330,8 +362,17 @@ class ParallelExecutor:
         while queue:
             chunk = queue.popleft()
             try:
+                actions = None
+                if self._chaos is not None:
+                    # both hooks inside the try: an injected pool break is
+                    # recovered by the very machinery it exercises
+                    self._chaos.before_submit()
+                    actions = self._chaos.chunk_actions(
+                        len(chunk.indices), chunk.attempt,
+                        policy.max_attempts,
+                    )
                 fut = pool.submit(
-                    _run_chunk, [jobs[i] for i in chunk.indices]
+                    _run_chunk, [jobs[i] for i in chunk.indices], actions
                 )
             except (BrokenExecutor, RuntimeError):
                 queue.appendleft(chunk)
@@ -433,6 +474,14 @@ class ParallelExecutor:
         policy = self.retry
         if chunk.timed_out:
             if len(chunk.indices) == 1:
+                # a timeout spends an attempt like any other failure: a
+                # transiently wedged run (I/O stall, injected hang) gets
+                # retried; only exhausting the budget fails the job
+                if chunk.attempt < policy.max_attempts:
+                    queue.append(
+                        _Chunk(chunk.indices, attempt=chunk.attempt + 1)
+                    )
+                    return
                 i = chunk.indices[0]
                 results[i] = (
                     JobFailure(
@@ -512,6 +561,7 @@ class ParallelExecutor:
             for proc in list(getattr(pool, "_processes", {}).values()):
                 try:
                     proc.kill()
-                except OSError:
-                    pass
+                except OSError as exc:
+                    # already-reaped worker: nothing to kill, nothing lost
+                    _log.debug("watchdog kill of %s: %s", proc, exc)
         return fired

@@ -14,6 +14,7 @@ from repro.lint.rules import (  # noqa: F401  (side effect: registration)
     frozen_config,
     mutable_default,
     pickle_boundary,
+    swallowed_oserror,
     unseeded_random,
     untyped_stats,
     wallclock,
@@ -26,6 +27,7 @@ __all__ = [
     "frozen_config",
     "mutable_default",
     "pickle_boundary",
+    "swallowed_oserror",
     "unseeded_random",
     "untyped_stats",
     "wallclock",

@@ -1,0 +1,100 @@
+"""``no-swallowed-oserror``: no silent I/O failure in engine/store code."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import FileContext, Rule, register
+
+#: exception names whose silent capture this rule forbids (``IOError``
+#: and ``EnvironmentError`` are aliases of ``OSError`` since Python 3.3).
+_OSERROR_NAMES = frozenset({"OSError", "IOError", "EnvironmentError"})
+
+#: module prefix defining *engine scope*: the executors, the persistent
+#: store, and everything else whose I/O failures must surface in counters.
+_ENGINE_PREFIX = "repro.engine"
+
+
+def _caught_oserror(handler: ast.ExceptHandler) -> Optional[str]:
+    """The OSError-family name a handler catches, if any.
+
+    Matches a bare name (``except OSError:``), a dotted terminal
+    (``except builtins.OSError:``), or any member of a tuple clause
+    (``except (ValueError, OSError):``).  A bare ``except:`` / ``except
+    Exception:`` is out of scope — broader handlers are the bare-except
+    linters' turf; this rule is about I/O errors *specifically* being
+    treated as ignorable.
+    """
+    clause = handler.type
+    if clause is None:
+        return None
+    exprs = clause.elts if isinstance(clause, ast.Tuple) else [clause]
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _OSERROR_NAMES:
+            return expr.id
+        if isinstance(expr, ast.Attribute) and expr.attr in _OSERROR_NAMES:
+            return expr.attr
+    return None
+
+
+def _is_silent(body: List[ast.stmt]) -> bool:
+    """Whether a handler body does nothing observable: only ``pass``,
+    ``...``, or bare constant expressions (docstring-style no-ops)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class NoSwallowedOSError(Rule):
+    """Flag ``except OSError: pass`` (and aliases) in engine scope."""
+
+    name = "no-swallowed-oserror"
+    summary = (
+        "engine and store code must count or log a caught OSError, "
+        "never swallow it with a bare pass"
+    )
+    rationale = (
+        "The engine's durability story is built on counters: a failed "
+        "store append, an unkillable worker, an unwritable cache "
+        "directory are all *expected* conditions that must degrade "
+        "gracefully — but 'gracefully' means counted (write_errors), "
+        "logged once, and surfaced through counters(), the telemetry "
+        "registry and the run manifest, so a provenance record can show "
+        "that results were recomputed rather than served from a store "
+        "that was silently dropping writes. An `except OSError: pass` "
+        "hides exactly that evidence: the run looks healthy while its "
+        "cache, metrics sidecar, or worker pool quietly stopped "
+        "persisting anything (the bug this rule was distilled from). "
+        "Handle the error — increment a counter, emit a log line, or "
+        "re-raise — or annotate the intentional rare case with "
+        "`# repro: allow-no-swallowed-oserror`."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        module = ctx.module
+        if module != _ENGINE_PREFIX and not module.startswith(
+            _ENGINE_PREFIX + "."
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _caught_oserror(node)
+            if caught is None or not _is_silent(node.body):
+                continue
+            yield ctx.diag(
+                self.name,
+                node,
+                f"silently swallowed {caught}; count it (write_errors), "
+                "log it, or re-raise — a dropped I/O error hides real "
+                "store/executor degradation",
+            )

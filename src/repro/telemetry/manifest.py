@@ -82,6 +82,12 @@ def build_manifest(
             "failures": float(engine.stats.failures),
             "sim_seconds": float(engine.stats.sim_seconds),
         }
+        if engine.store is not None:
+            # persistent-store health (integrity + write-error counters):
+            # a silently dropped or corrupt record would be invisible in
+            # results, so it must be visible in provenance
+            for name, value in engine.store.counters().items():
+                stats[f"store_{name}"] = float(value)
     return RunManifest(
         config_hash=config_hash(payload),
         scale=scale,

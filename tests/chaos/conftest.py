@@ -1,0 +1,55 @@
+"""Shared fixtures for the chaos suite: one mixed job batch + its clean
+serial results, computed once per session (the bit-identity baseline)."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ContestJob,
+    RegionLogJob,
+    SerialExecutor,
+    SimEngine,
+    StandaloneJob,
+    TraceSpec,
+)
+from repro.engine.store import encode_result
+from repro.uarch.config import core_config
+
+SPEC_A = TraceSpec("gcc", 300, seed=7)
+SPEC_B = TraceSpec("gzip", 260, seed=9)
+
+
+def make_batch():
+    """The canonical mixed batch every chaos schedule runs: standalone,
+    region-log and contest jobs over several core configs, small enough
+    that a whole schedule (including injected hangs) settles in seconds."""
+    return [
+        StandaloneJob(core_config("gcc"), SPEC_A),
+        StandaloneJob(core_config("vpr"), SPEC_A),
+        RegionLogJob(core_config("mcf"), SPEC_B),
+        StandaloneJob(core_config("crafty"), SPEC_B),
+        ContestJob((core_config("gcc"), core_config("gzip")), SPEC_A),
+        RegionLogJob(core_config("gzip"), SPEC_A),
+        StandaloneJob(core_config("gcc"), SPEC_B),
+        ContestJob((core_config("vpr"), core_config("mcf")), SPEC_B),
+    ]
+
+
+def canonical(results):
+    """Bit-comparable form of a result list: canonical JSON per result.
+
+    Tuples decode from the store as lists; canonical JSON maps both to the
+    same array, so this is exactly the equality the store itself preserves.
+    """
+    return [
+        json.dumps(encode_result(r), sort_keys=True, separators=(",", ":"))
+        for r in results
+    ]
+
+
+@pytest.fixture(scope="session")
+def clean_results():
+    """The chaos-free baseline: the batch run serially, no store."""
+    engine = SimEngine(executor=SerialExecutor())
+    return canonical(engine.run_many(make_batch()))

@@ -115,3 +115,47 @@ class TestEviction:
         store = ResultStore(tmp_path)
         counters = store.counters()
         assert set(counters) >= {"hits", "misses", "evictions", "entries"}
+
+
+class TestStreamingLoad:
+    def test_load_never_reads_the_whole_file(self, tmp_path, monkeypatch):
+        # the regression this pins: _load once did path.read_bytes(),
+        # holding the entire store in memory; it must stream lines now
+        alone, _, _ = _results()
+        seeded = ResultStore(tmp_path)
+        for i in range(5):
+            seeded.put(f"k{i}", "standalone", alone)
+
+        def no_slurp(self):
+            raise AssertionError("store load must stream, not slurp")
+
+        monkeypatch.setattr(type(seeded.path), "read_bytes", no_slurp)
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 5
+        assert fresh.get("k3", "standalone") == alone
+
+    def test_records_are_crc_framed_on_disk(self, tmp_path):
+        from repro.engine.store import STATUS_OK, STORE_FORMAT, scan_store
+
+        alone, _, _ = _results()
+        store = ResultStore(tmp_path)
+        store.put("k", "standalone", alone)
+        (record,) = scan_store(store.path)
+        assert record.status == STATUS_OK
+        raw = json.loads(store.path.read_bytes().splitlines()[0])
+        assert raw["v"] == STORE_FORMAT
+        assert isinstance(raw["crc"], int)
+
+    def test_legacy_unframed_lines_still_load(self, tmp_path):
+        alone, _, _ = _results()
+        store = ResultStore(tmp_path)
+        line = json.dumps(
+            {"key": "old", "kind": "standalone",
+             "value": encode_result(alone)}
+        )
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text(line + "\n")
+        fresh = ResultStore(tmp_path)
+        assert fresh.legacy_lines == 1
+        assert fresh.corrupt_lines == 0
+        assert fresh.get("old", "standalone") == alone

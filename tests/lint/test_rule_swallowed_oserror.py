@@ -1,0 +1,152 @@
+"""no-swallowed-oserror: engine I/O failures must be counted or logged."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+BAD_BARE_PASS = textwrap.dedent(
+    """
+    def append(path, data):
+        try:
+            path.write_bytes(data)
+        except OSError:
+            pass
+    """
+)
+
+BAD_IOERROR_ALIAS = textwrap.dedent(
+    """
+    def cleanup(tmp):
+        try:
+            tmp.unlink()
+        except IOError:
+            pass
+    """
+)
+
+BAD_TUPLE_CLAUSE = textwrap.dedent(
+    """
+    def probe(path):
+        try:
+            return path.stat()
+        except (ValueError, OSError):
+            ...
+    """
+)
+
+BAD_DOCSTRING_ONLY = textwrap.dedent(
+    '''
+    def close(fd):
+        import os
+        try:
+            os.close(fd)
+        except OSError:
+            "already closed"
+    '''
+)
+
+OK_COUNTED = textwrap.dedent(
+    """
+    def append(store, path, data):
+        try:
+            path.write_bytes(data)
+        except OSError:
+            store.write_errors += 1
+    """
+)
+
+OK_LOGGED = textwrap.dedent(
+    """
+    import logging
+    log = logging.getLogger(__name__)
+
+    def kill(proc):
+        try:
+            proc.kill()
+        except OSError as exc:
+            log.debug("kill failed: %s", exc)
+    """
+)
+
+OK_RERAISED = textwrap.dedent(
+    """
+    def read(path):
+        try:
+            return path.read_bytes()
+        except OSError:
+            raise RuntimeError("store unreadable")
+    """
+)
+
+OK_OTHER_EXCEPTION = textwrap.dedent(
+    """
+    def decode(payload):
+        try:
+            return int(payload)
+        except ValueError:
+            pass
+    """
+)
+
+
+def findings(source, module="repro.engine.store"):
+    return [
+        d for d in lint_source(source, module=module)
+        if d.rule == "no-swallowed-oserror"
+    ]
+
+
+def test_fires_on_bare_pass():
+    assert findings(BAD_BARE_PASS)
+
+
+def test_fires_on_ioerror_alias():
+    assert findings(BAD_IOERROR_ALIAS)
+
+
+def test_fires_inside_tuple_clause():
+    assert findings(BAD_TUPLE_CLAUSE)
+
+
+def test_fires_on_constant_only_body():
+    # a string "comment" in the handler is still observably nothing
+    assert findings(BAD_DOCSTRING_ONLY)
+
+
+def test_counter_increment_is_clean():
+    assert findings(OK_COUNTED) == []
+
+
+def test_log_call_is_clean():
+    assert findings(OK_LOGGED) == []
+
+
+def test_reraise_is_clean():
+    assert findings(OK_RERAISED) == []
+
+
+def test_other_exceptions_are_out_of_scope():
+    assert findings(OK_OTHER_EXCEPTION) == []
+
+
+def test_silent_outside_engine_scope():
+    # model/analysis code has no durability counters to feed; the rule
+    # polices the engine and store layers only
+    assert findings(BAD_BARE_PASS, module="repro.uarch.core") == []
+
+
+def test_engine_package_root_is_in_scope():
+    assert findings(BAD_BARE_PASS, module="repro.engine")
+
+
+def test_pragma_suppresses():
+    suppressed = textwrap.dedent(
+        """
+        def append(path, data):
+            try:
+                path.write_bytes(data)
+            except OSError:  # repro: allow-no-swallowed-oserror
+                pass
+        """
+    )
+    assert findings(suppressed) == []
