@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: the asyncio job API over the engine.
+
+The service promotes :mod:`repro.engine` from a library into a
+long-running shared resource (ROADMAP open item 2):
+
+* :mod:`repro.service.server` — :class:`SimService`: submission, dedup
+  against the content-addressed result store, per-tenant token-bucket
+  quotas, a bounded admission queue with 429/503 backpressure, batching
+  into the fault-tolerant parallel executor off the event loop,
+  poll/SSE status, and graceful drain;
+* :mod:`repro.service.http` — the minimal stdlib HTTP/1.1 framing;
+* :mod:`repro.service.codec` — the JSON wire format for jobs;
+* :mod:`repro.service.quota` — per-tenant token buckets;
+* :mod:`repro.service.client` — the small asyncio client the
+  conformance suite (``tests/service/``) drives;
+* :mod:`repro.service.cli` — the ``repro-serve`` console script.
+
+See ``docs/service.md`` for the API reference and the conformance-suite
+methodology.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.codec import CodecError, decode_job, decode_jobs, encode_job
+from repro.service.http import HttpError
+from repro.service.quota import QuotaManager, TokenBucket
+from repro.service.server import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    ServiceConfig,
+    SimService,
+)
+
+__all__ = [
+    "CodecError",
+    "DONE",
+    "FAILED",
+    "HttpError",
+    "QUEUED",
+    "QuotaManager",
+    "RUNNING",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SimService",
+    "TokenBucket",
+    "decode_job",
+    "decode_jobs",
+    "encode_job",
+]

@@ -1,0 +1,259 @@
+"""A minimal asyncio client for the simulation service (stdlib only).
+
+One :class:`ServiceClient` talks to one service over plain HTTP/1.1,
+reusing a single keep-alive connection for request/response exchanges and
+opening a dedicated connection per server-sent-event stream (an SSE
+response occupies its connection until the stream ends).
+
+This is the client the conformance suite and the service benchmark
+drive; it is deliberately small — submit, poll, wait, fetch, stream —
+and raises :class:`ServiceError` on any non-2xx response, carrying the
+status and the server's JSON error payload.
+"""
+
+import asyncio
+import json
+from typing import (
+    AsyncIterator,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.engine.jobs import SimJob
+from repro.service.codec import encode_job
+from repro.service.http import parse_sse_frame
+
+#: statuses the client treats as success
+_OK = (200, 202)
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(
+        self, status: int, payload: object, headers: Mapping[str, str]
+    ) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload!r}")
+        self.status = status
+        self.payload = payload
+        self.headers = dict(headers)
+
+    @property
+    def retry_after(self) -> Optional[str]:
+        """The ``Retry-After`` header, when the server sent one."""
+        return self.headers.get("retry-after")
+
+
+class ServiceClient:
+    """One client connection to a running :class:`SimService`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    # ------------------------------------------------------------ transport
+
+    async def _connection(
+        self,
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        assert self._reader is not None and self._writer is not None
+        return self._reader, self._writer
+
+    async def close(self) -> None:
+        """Close the keep-alive connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    @staticmethod
+    def _render(
+        method: str,
+        path: str,
+        host: str,
+        body: Optional[bytes],
+        headers: Mapping[str, str],
+    ) -> bytes:
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {host}"]
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        if body is not None:
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(body)}")
+        return (
+            ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + (body or b"")
+        )
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        head = (await reader.readuntil(b"\r\n\r\n")).decode("latin-1")
+        lines = head.split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            body = await reader.readexactly(int(length))
+        return status, headers, body
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> object:
+        """One request/response exchange; returns the decoded JSON body.
+
+        Raises :class:`ServiceError` on a non-2xx status.  The keep-alive
+        connection is re-opened transparently if the server closed it.
+        """
+        body = (
+            None if payload is None
+            else json.dumps(payload, sort_keys=True).encode()
+        )
+        raw = self._render(method, path, self.host, body, headers or {})
+        reader, writer = await self._connection()
+        try:
+            writer.write(raw)
+            await writer.drain()
+            status, resp_headers, resp_body = await self._read_response(reader)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            # stale keep-alive connection: reconnect and retry once
+            await self.close()
+            reader, writer = await self._connection()
+            writer.write(raw)
+            await writer.drain()
+            status, resp_headers, resp_body = await self._read_response(reader)
+        if resp_headers.get("connection", "").lower() == "close":
+            await self.close()
+        decoded = json.loads(resp_body) if resp_body else None
+        if status not in _OK:
+            raise ServiceError(status, decoded, resp_headers)
+        return decoded
+
+    # ------------------------------------------------------------------ API
+
+    async def submit(
+        self,
+        jobs: Sequence[SimJob],
+        tenant: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Submit jobs; returns the per-job ``{"id", "kind", "state"}``
+        rows (dataclass jobs are encoded onto the wire by the codec)."""
+        headers = {} if tenant is None else {"X-Tenant": tenant}
+        payload = {"jobs": [encode_job(job) for job in jobs]}
+        response = await self.request(
+            "POST", "/v1/jobs", payload=payload, headers=headers
+        )
+        assert isinstance(response, dict)
+        rows = response["jobs"]
+        assert isinstance(rows, list)
+        return rows
+
+    async def status(self, job_id: str) -> Dict[str, object]:
+        """One job's status payload."""
+        response = await self.request("GET", f"/v1/jobs/{job_id}")
+        assert isinstance(response, dict)
+        return response
+
+    async def result(self, job_id: str) -> Dict[str, object]:
+        """A finished job's ``{"id", "kind", "value"}`` payload."""
+        response = await self.request("GET", f"/v1/jobs/{job_id}/result")
+        assert isinstance(response, dict)
+        return response
+
+    async def stats(self) -> Dict[str, object]:
+        """The service's counter snapshot."""
+        response = await self.request("GET", "/v1/stats")
+        assert isinstance(response, dict)
+        return response
+
+    async def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 60.0,
+        poll_s: float = 0.01,
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Polling (rather than SSE) on purpose: this is the path most
+        clients take, and the conformance suite exercises SSE separately
+        through :meth:`events`.
+        """
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while True:
+            status = await self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']!r} after "
+                    f"{timeout_s}s"
+                )
+            await asyncio.sleep(poll_s)
+
+    async def events(
+        self, job_id: str
+    ) -> AsyncIterator[Tuple[str, object]]:
+        """Stream the job's SSE frames as ``(event, payload)`` pairs.
+
+        Opens a dedicated connection; the stream ends when the server
+        sends its terminal ``end`` event and closes.
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(self._render(
+                "GET", f"/v1/jobs/{job_id}/events", self.host, None, {}
+            ))
+            await writer.drain()
+            head = (await reader.readuntil(b"\r\n\r\n")).decode("latin-1")
+            status = int(head.split("\r\n")[0].split(" ", 2)[1])
+            if status != 200:
+                length = 0
+                for line in head.split("\r\n"):
+                    if line.lower().startswith("content-length:"):
+                        length = int(line.split(":", 1)[1])
+                body = await reader.readexactly(length) if length else b""
+                raise ServiceError(
+                    status, json.loads(body) if body else None, {}
+                )
+            buffer = b""
+            while True:
+                chunk = await reader.read(4096)
+                if not chunk:
+                    return
+                buffer += chunk
+                while b"\n\n" in buffer:
+                    frame, buffer = buffer.split(b"\n\n", 1)
+                    event, payload = parse_sse_frame(frame.decode())
+                    yield event, payload
+                    if event == "end":
+                        return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.engine.engine import SimEngine
 from repro.engine.jobs import SCHEMA_VERSION
+from repro.telemetry.registry import StatRegistry
 
 #: manifest record format version
 MANIFEST_SCHEMA = 1
@@ -62,8 +63,15 @@ def build_manifest(
     seed: int,
     wall_seconds: float,
     engine: Optional[SimEngine] = None,
+    registry: Optional["StatRegistry"] = None,
 ) -> RunManifest:
-    """Assemble a :class:`RunManifest` for one finished runner invocation."""
+    """Assemble a :class:`RunManifest` for one finished runner invocation.
+
+    ``registry`` folds a telemetry registry's scalar stats (counters and
+    gauges) into ``engine_stats`` under their declared names — the
+    simulation-as-a-service layer surfaces its ``service.*`` counters in
+    every manifest this way (``docs/service.md``).
+    """
     payload: Dict[str, object] = {
         "scale": scale,
         "experiments": list(experiments),
@@ -88,6 +96,11 @@ def build_manifest(
             # results, so it must be visible in provenance
             for name, value in engine.store.counters().items():
                 stats[f"store_{name}"] = float(value)
+    if registry is not None:
+        for stat in registry:
+            snapshot = stat.snapshot_value()
+            if isinstance(snapshot, (int, float)):
+                stats[stat.name] = float(snapshot)
     return RunManifest(
         config_hash=config_hash(payload),
         scale=scale,

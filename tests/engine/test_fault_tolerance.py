@@ -75,6 +75,30 @@ class HangingJob:
         time.sleep(300)
 
 
+@dataclass(frozen=True)
+class HangOnceJob:
+    """Hangs on its first attempt, returns promptly ever after.
+
+    The sentinel file is the cross-process attempt memory: the first
+    worker to run the job creates it and then wedges; any later attempt
+    sees it and succeeds.  This is the transiently-wedged-run shape (an
+    I/O stall, a cold NFS mount) the timed-out retry path exists for.
+    """
+
+    sentinel: str
+    kind = "hang_once"
+
+    def cache_key(self):
+        return f"hang-once-{self.sentinel}"
+
+    def run(self):
+        if os.path.exists(self.sentinel):
+            return "recovered"
+        with open(self.sentinel, "w") as handle:
+            handle.write("attempt 1 hung here\n")
+        time.sleep(300)
+
+
 FAST_RETRY = RetryPolicy(max_attempts=2, backoff_s=0.01)
 
 
@@ -145,6 +169,83 @@ class TestHangingJob:
         assert failure.error_type == "JobTimeout"
         assert not isinstance(timed[1][0], JobFailure)
         assert elapsed < 60  # the 300s sleep was interrupted
+
+
+class TestTimedOutRetryPath:
+    """The timed-out single-chunk path: a timeout spends an attempt and
+    the job is *retried*, not failed outright (nor retried forever)."""
+
+    def test_transient_hang_recovers_on_retry(self, tmp_path):
+        policy = RetryPolicy(
+            max_attempts=3, backoff_s=0.01, job_timeout_s=0.5
+        )
+        job = HangOnceJob(str(tmp_path / "first-attempt.sentinel"))
+        timed = ParallelExecutor(
+            workers=2, chunk_size=1, retry=policy
+        ).run([job, GOOD_JOBS[0]])
+        # the first attempt wedged (the sentinel proves it ran) but the
+        # retry completed: no JobFailure anywhere
+        assert timed[0][0] == "recovered"
+        assert (tmp_path / "first-attempt.sentinel").exists()
+        assert not isinstance(timed[1][0], JobFailure)
+
+    def test_attempts_counted_to_budget_then_job_timeout(self):
+        policy = RetryPolicy(
+            max_attempts=2, backoff_s=0.01, job_timeout_s=0.4
+        )
+        timed = ParallelExecutor(
+            workers=2, chunk_size=1, retry=policy
+        ).run([HangingJob(), GOOD_JOBS[0]])
+        failure = timed[0][0]
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "JobTimeout"
+        # every permitted attempt was spent on the timeout path — not
+        # one (fail fast) and not more (retry forever)
+        assert failure.attempts == policy.max_attempts
+        assert "wall-clock" in failure.message
+        assert not isinstance(timed[1][0], JobFailure)
+
+    def test_timed_out_multi_job_chunk_splits_before_spending(self):
+        # a multi-job chunk that overruns cannot tell which member is
+        # wedged: it splits into singles at the SAME attempt, so the
+        # innocent chunk-mate succeeds and the hanger still gets its
+        # full per-attempt budget
+        policy = RetryPolicy(
+            max_attempts=2, backoff_s=0.01, job_timeout_s=0.4
+        )
+        timed = ParallelExecutor(
+            workers=2, chunk_size=2, retry=policy
+        ).run([HangingJob(), GOOD_JOBS[0], GOOD_JOBS[1], GOOD_JOBS[2]])
+        failure = timed[0][0]
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "JobTimeout"
+        assert failure.attempts == policy.max_attempts
+        serial = [r for r, _ in SerialExecutor().run(GOOD_JOBS)]
+        assert [r for r, _ in timed[1:]] == serial
+
+    def test_timeout_failures_are_never_cached(self, tmp_path):
+        policy = RetryPolicy(
+            max_attempts=2, backoff_s=0.01, job_timeout_s=0.4
+        )
+        engine = SimEngine(
+            executor=ParallelExecutor(workers=2, chunk_size=1, retry=policy),
+            store=ResultStore(tmp_path / "store"),
+        )
+        results = engine.run_many([HangingJob(), GOOD_JOBS[0]])
+        assert isinstance(results[0], JobFailure)
+        assert results[0].error_type == "JobTimeout"
+        assert engine.stats.failures == 1
+        # only the good job's record landed in the store
+        assert len(engine.store) == 1
+        assert engine.store.get("hanging", "hanging") is None
+        # a re-run re-executes the timed-out job (no poisoned record),
+        # while the good job is a pure cache hit; a second fresh job
+        # rides along so the uncached remainder keeps the pool path
+        # (a singleton batch would run serially, with no watchdog)
+        again = engine.run_many([HangingJob(), GOOD_JOBS[0], GOOD_JOBS[1]])
+        assert isinstance(again[0], JobFailure)
+        assert engine.stats.failures == 2
+        assert engine.stats.memory_hits == 1
 
 
 class TestConcurrentStoreAppends:

@@ -1,0 +1,177 @@
+"""Unit tests for the stdlib HTTP/1.1 framing layer.
+
+These feed byte streams straight into an ``asyncio.StreamReader`` — no
+sockets — so every parse path (clean EOF, malformed lines, the header and
+body size caps) is exercised deterministically.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    HttpError,
+    json_body,
+    parse_sse_frame,
+    read_request,
+    render_response,
+    sse_event,
+    sse_preamble,
+)
+
+
+def parse(data):
+    """Run :func:`read_request` over a canned byte stream."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+def parse_error(data):
+    with pytest.raises(HttpError) as excinfo:
+        parse(data)
+    return excinfo.value
+
+
+# ------------------------------------------------------------------ requests
+
+
+def test_parses_request_with_body():
+    request = parse(
+        b"POST /v1/jobs?x=1 HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"X-Tenant: alice\r\n"
+        b"Content-Length: 2\r\n\r\n"
+        b"{}"
+    )
+    assert request.method == "POST"
+    assert request.path == "/v1/jobs"
+    assert request.query == "x=1"
+    assert request.headers["x-tenant"] == "alice"
+    assert request.body == b"{}"
+    assert request.json() == {}
+    assert request.keep_alive  # HTTP/1.1 default
+
+
+def test_method_uppercased_and_connection_close():
+    request = parse(
+        b"get /v1/stats HTTP/1.1\r\nConnection: Close\r\n\r\n"
+    )
+    assert request.method == "GET"
+    assert not request.keep_alive
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_truncated_head_is_400():
+    assert parse_error(b"GET /v1/stats HTT").status == 400
+
+
+def test_malformed_request_line_is_400():
+    assert parse_error(b"GET /v1/stats\r\n\r\n").status == 400
+    assert parse_error(b"GET /v1/stats SMTP/1.1\r\n\r\n").status == 400
+
+
+def test_malformed_header_line_is_400():
+    error = parse_error(b"GET / HTTP/1.1\r\nnot-a-header\r\n\r\n")
+    assert error.status == 400
+
+
+@pytest.mark.parametrize("length", ["nope", "-5"])
+def test_bad_content_length_is_400(length):
+    raw = f"POST / HTTP/1.1\r\nContent-Length: {length}\r\n\r\n".encode()
+    assert parse_error(raw).status == 400
+
+
+def test_declared_body_over_cap_is_413():
+    raw = (
+        f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+    ).encode()
+    assert parse_error(raw).status == 413
+
+
+def test_oversized_header_block_is_413():
+    filler = b"X-Filler: " + b"a" * MAX_HEADER_BYTES
+    raw = b"GET / HTTP/1.1\r\n" + filler + b"\r\n\r\n"
+    assert parse_error(raw).status == 413
+
+
+def test_header_block_beyond_reader_limit_is_413():
+    # five times the cap and no terminator in sight: the reader's own
+    # buffer limit trips first and must still surface as a 413
+    assert parse_error(b"GET / HTTP/1.1\r\n" + b"a" * (5 * MAX_HEADER_BYTES)
+                       ).status == 413
+
+
+def test_missing_body_json_is_400():
+    request = parse(b"POST /v1/jobs HTTP/1.1\r\n\r\n")
+    with pytest.raises(HttpError) as excinfo:
+        request.json()
+    assert excinfo.value.status == 400
+
+
+def test_invalid_body_json_is_400():
+    request = parse(
+        b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope"
+    )
+    with pytest.raises(HttpError) as excinfo:
+        request.json()
+    assert excinfo.value.status == 400
+
+
+# ----------------------------------------------------------------- responses
+
+
+def test_render_response_shape():
+    body = json_body({"b": 1, "a": 2})
+    raw = render_response(
+        429, body, headers={"Retry-After": "3"}, keep_alive=False
+    ).decode()
+    head, _, rendered_body = raw.partition("\r\n\r\n")
+    lines = head.split("\r\n")
+    assert lines[0] == "HTTP/1.1 429 Too Many Requests"
+    assert f"Content-Length: {len(body)}" in lines
+    assert "Connection: close" in lines
+    assert "Retry-After: 3" in lines
+    # canonical JSON: key-sorted, tight separators
+    assert rendered_body == '{"a":2,"b":1}'
+
+
+def test_render_response_keep_alive_default():
+    raw = render_response(200, b"{}").decode()
+    assert "Connection: keep-alive" in raw
+
+
+def test_json_body_is_canonical():
+    payload = {"z": [1.5, None], "a": {"y": 1, "x": 2}}
+    assert json_body(payload) == json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+# ----------------------------------------------------------------------- SSE
+
+
+def test_sse_preamble_always_closes():
+    head = sse_preamble().decode()
+    assert "Content-Type: text/event-stream" in head
+    assert "Connection: close" in head
+    assert "Content-Length" not in head
+
+
+def test_sse_event_round_trips():
+    payload = {"id": "abc", "state": "running"}
+    frame = sse_event("status", payload).decode()
+    assert frame.endswith("\n\n")
+    event, decoded = parse_sse_frame(frame.strip("\n"))
+    assert event == "status"
+    assert decoded == payload

@@ -1,0 +1,99 @@
+"""Token-bucket quota unit tests, driven by a manual clock.
+
+With an injectable clock a bucket is a pure function of the take/refund
+sequence — exactly the determinism the service's 429 behaviour leans on
+(``tests/service/test_backpressure.py`` pins the HTTP side).
+"""
+
+import math
+
+import pytest
+
+from repro.service.quota import QuotaManager, TokenBucket
+
+
+class ManualClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_take_and_exact_retry_after():
+    clock = ManualClock()
+    bucket = TokenBucket(rate_per_s=1.0, burst=4.0, clock=clock)
+    assert bucket.try_take(3) == (True, 0.0)
+    admitted, retry_after = bucket.try_take(2)
+    assert not admitted
+    assert retry_after == pytest.approx(1.0)  # (2 - 1 remaining) / 1 per s
+    clock.advance(1.0)
+    assert bucket.try_take(2) == (True, 0.0)
+    assert bucket.tokens == pytest.approx(0.0)
+
+
+def test_refill_caps_at_burst():
+    clock = ManualClock()
+    bucket = TokenBucket(rate_per_s=10.0, burst=5.0, clock=clock)
+    assert bucket.try_take(5)[0]
+    clock.advance(100.0)
+    assert bucket.tokens == pytest.approx(5.0)
+
+
+def test_zero_rate_is_a_pure_counter():
+    clock = ManualClock()
+    bucket = TokenBucket(rate_per_s=0.0, burst=3.0, clock=clock)
+    assert bucket.try_take(2)[0]
+    assert bucket.try_take(1)[0]
+    admitted, retry_after = bucket.try_take(1)
+    assert not admitted
+    assert math.isinf(retry_after)
+    clock.advance(1e6)  # never refills
+    assert bucket.tokens == pytest.approx(0.0)
+
+
+def test_oversized_take_can_never_be_admitted():
+    bucket = TokenBucket(rate_per_s=100.0, burst=4.0, clock=ManualClock())
+    admitted, retry_after = bucket.try_take(5)
+    assert not admitted
+    assert math.isinf(retry_after)
+    # and the failed take charged nothing
+    assert bucket.tokens == pytest.approx(4.0)
+
+
+def test_refund_restores_up_to_burst():
+    clock = ManualClock()
+    bucket = TokenBucket(rate_per_s=0.0, burst=4.0, clock=clock)
+    assert bucket.try_take(3)[0]
+    bucket.refund(2)
+    assert bucket.tokens == pytest.approx(3.0)
+    bucket.refund(10)  # a refund can never manufacture quota
+    assert bucket.tokens == pytest.approx(4.0)
+
+
+def test_argument_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_s=-1.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_per_s=1.0, burst=0.0)
+    bucket = TokenBucket(rate_per_s=1.0, burst=1.0, clock=ManualClock())
+    with pytest.raises(ValueError):
+        bucket.try_take(0)
+    with pytest.raises(ValueError):
+        bucket.refund(-1)
+
+
+def test_manager_isolates_tenants():
+    clock = ManualClock()
+    quotas = QuotaManager(rate_per_s=0.0, burst=2.0, clock=clock)
+    assert quotas.admit("alice", 2)[0]
+    assert not quotas.admit("alice", 1)[0]
+    # bob's bucket is untouched by alice going broke
+    assert quotas.admit("bob", 2)[0]
+    assert quotas.tenants == 2
+    assert quotas.bucket("alice") is quotas.bucket("alice")
