@@ -61,6 +61,7 @@ import dataclasses
 import json
 import logging
 import os
+import threading
 import zlib
 from contextlib import contextmanager
 from pathlib import Path
@@ -303,6 +304,12 @@ class ResultStore:
         self.write_errors = 0
         self._write_error_logged = False
         self._entries: Dict[str, dict] = {}
+        #: serialises the in-memory view (entries dict + cache counters)
+        #: across threads — the service reads on its event loop while the
+        #: batcher thread runs the engine.  The flock covers file *bytes*
+        #: across processes; this lock covers *memory* within one.  Never
+        #: held across file I/O.
+        self._mu = threading.Lock()
         self._load()
 
     def __len__(self) -> int:
@@ -373,26 +380,29 @@ class ResultStore:
     def get(self, key: str, kind: str) -> Optional[object]:
         """Look up and decode a result; ``None`` (a miss) on absence, kind
         mismatch, or an undecodable payload."""
-        record = self._entries.get(key)
-        if record is None or record["kind"] != kind:
-            self.misses += 1
-            return None
-        try:
-            result = decode_result(kind, record["value"])
-        except (TypeError, KeyError, ValueError):
-            # stale shape from an older code version: treat as a miss
-            del self._entries[key]
-            self.corrupt_lines += 1
-            self.misses += 1
-            return None
-        self.hits += 1
+        with self._mu:
+            record = self._entries.get(key)
+            if record is None or record["kind"] != kind:
+                self.misses += 1
+                return None
+            try:
+                result = decode_result(kind, record["value"])
+            except (TypeError, KeyError, ValueError):
+                # stale shape from an older code version: treat as a miss
+                del self._entries[key]
+                self.corrupt_lines += 1
+                self.misses += 1
+                return None
+            self.hits += 1
         return result
 
     def put(self, key: str, kind: str, result: object) -> None:
         """Insert (or supersede) a result and append it to the file."""
         record = {"kind": kind, "value": encode_result(result)}
-        self._entries[key] = record
-        if len(self._entries) > self.max_entries:
+        with self._mu:
+            self._entries[key] = record
+            over_capacity = len(self._entries) > self.max_entries
+        if over_capacity:
             self._evict_to_capacity(rewrite=True)
             return
         data = frame_record(key, kind, record["value"])
@@ -471,10 +481,11 @@ class ResultStore:
 
     def _evict_to_capacity(self, rewrite: bool) -> None:
         evicted = 0
-        while len(self._entries) > self.max_entries:
-            self._entries.pop(next(iter(self._entries)))
-            evicted += 1
-        self.evictions += evicted
+        with self._mu:
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+                evicted += 1
+            self.evictions += evicted
         if rewrite and evicted:
             self._rewrite()
 
@@ -482,9 +493,12 @@ class ResultStore:
         """Compact: rewrite the file from the in-memory view (later-lines
         -win already applied, corrupt lines dropped, legacy records
         re-framed), then atomically rename into place."""
+        with self._mu:
+            # snapshot under the lock so a concurrent get() (which can
+            # drop stale entries) never tears the iteration
+            items = list(self._entries.items())
         payload = b"".join(
-            frame_record(k, r["kind"], r["value"])
-            for k, r in self._entries.items()
+            frame_record(k, r["kind"], r["value"]) for k, r in items
         )
         # per-pid temp name + atomic rename: a concurrent reader sees
         # either the old file or the new one, never a half-written mix

@@ -26,6 +26,14 @@ stable on one machine).  This package catches the known failure classes
   code accumulates into typed stats (dataclass fields or the
   :mod:`repro.telemetry` registry), never bare string dict keys.
 
+On top of the per-file rules sits a whole-program pass
+(:mod:`~repro.lint.project`: symbol table + module graph,
+:mod:`~repro.lint.callgraph`, :mod:`~repro.lint.dataflow`) feeding the
+concurrency-safety pack — ``blocking-in-async``, ``lock-discipline``,
+``cross-thread-mutable-state``, ``await-discarded`` — and upgrading
+``no-wallclock`` / ``no-unseeded-random`` to transitive call-graph taint
+checks and ``cache-key-completeness`` to cross-module field tracking.
+
 Run it as ``python -m repro.lint [paths]`` (see :mod:`repro.lint.cli` for
 ``--select/--ignore/--format=json/--list-rules``).  A finding can be
 suppressed in place with a ``# repro: allow-<rule>`` pragma on the
@@ -39,15 +47,25 @@ test suite (``tests/lint``).
 
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import RULES, FileContext, Rule, all_rules
-from repro.lint.runner import lint_file, lint_paths, lint_source
+from repro.lint.runner import (
+    LintReport,
+    lint_file,
+    lint_modules,
+    lint_paths,
+    lint_paths_report,
+    lint_source,
+)
 
 __all__ = [
     "Diagnostic",
     "FileContext",
+    "LintReport",
     "RULES",
     "Rule",
     "all_rules",
     "lint_file",
+    "lint_modules",
     "lint_paths",
+    "lint_paths_report",
     "lint_source",
 ]

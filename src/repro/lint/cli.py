@@ -6,11 +6,14 @@ Usage::
     python -m repro.lint --select frozen-config,no-wallclock src
     python -m repro.lint --ignore no-mutable-default src tests
     python -m repro.lint --format=json src     # machine-readable findings
+    python -m repro.lint --format=github src   # ::error PR annotations
+    python -m repro.lint --stats src tests     # run telemetry on stderr
     python -m repro.lint --list-rules          # the rule catalogue
 
 Exit status: 0 clean, 1 findings, 2 usage error.  CI runs the tree-wide
 invocation as part of the fast lint gate (see ``.github/workflows/ci.yml``
-and ``docs/static-analysis.md``).
+and ``docs/static-analysis.md``).  ``--stats`` writes to stderr so it
+composes with every format, including ``--format=json``.
 """
 
 from __future__ import annotations
@@ -21,8 +24,9 @@ import sys
 import textwrap
 from typing import List, Optional, Sequence
 
+from repro.lint.diagnostics import Diagnostic
 from repro.lint.registry import RULES, Rule, all_rules
-from repro.lint.runner import lint_paths
+from repro.lint.runner import LintReport, lint_paths_report
 
 
 def _split_names(raw: Optional[str]) -> Optional[List[str]]:
@@ -64,6 +68,42 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _github_line(diag: Diagnostic) -> str:
+    """One GitHub Actions workflow command annotating the finding inline.
+
+    Newlines and the characters GitHub treats as property delimiters are
+    percent-escaped per the workflow-command spec.
+    """
+    def esc(value: str, *, prop: bool = False) -> str:
+        value = value.replace("%", "%25").replace("\r", "%0D").replace(
+            "\n", "%0A"
+        )
+        if prop:
+            value = value.replace(":", "%3A").replace(",", "%2C")
+        return value
+
+    return (
+        f"::error file={esc(diag.path, prop=True)},line={diag.line},"
+        f"col={diag.col + 1},title={esc(diag.rule, prop=True)}"
+        f"::{esc(diag.message)}"
+    )
+
+
+def _print_stats(report: LintReport) -> None:
+    print(
+        f"stats: {report.file_count} files, {report.line_count} lines, "
+        f"{len(report.findings)} findings",
+        file=sys.stderr,
+    )
+    print(
+        f"stats: project pass {report.project_build_seconds:.3f}s, "
+        f"total {report.total_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    for rule_name, count in report.per_rule_counts().items():
+        print(f"stats: {rule_name}: {count}", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
@@ -86,8 +126,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated rule names to skip",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default: text); github emits ::error "
+        "workflow commands for inline PR annotations",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print run telemetry (files/LoC, per-rule counts, project-"
+        "pass build time) to stderr",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -100,16 +146,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     rules = _resolve_rules(_split_names(args.select), _split_names(args.ignore))
-    findings = lint_paths(args.paths, rules=rules)
+    report = lint_paths_report(args.paths, rules=rules)
+    findings = report.findings
 
     if args.format == "json":
         print(json.dumps([d.to_dict() for d in findings], indent=2))
+    elif args.format == "github":
+        for diag in findings:
+            print(_github_line(diag))
     else:
         for diag in findings:
             print(diag.format())
         if findings:
             noun = "finding" if len(findings) == 1 else "findings"
             print(f"{len(findings)} {noun}", file=sys.stderr)
+    if args.stats:
+        _print_stats(report)
     return 1 if findings else 0
 
 

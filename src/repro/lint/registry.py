@@ -15,9 +15,12 @@ package populates :data:`RULES`.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple, Type
 
 from repro.lint.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # runtime import would be circular (project -> astutil)
+    from repro.lint.project import ProjectContext
 
 #: packages whose modules are *timing-model* code: they define what the
 #: simulated hardware does and must be pure functions of their inputs.
@@ -30,6 +33,20 @@ MODEL_MODULES = ("repro.faults",)
 #: the sanctioned randomness entry point — exempt from the random rules
 #: (it exists precisely to wrap :mod:`random` behind seeded substreams).
 RNG_MODULE = "repro.util.rng"
+
+
+def is_model_module(module: str) -> bool:
+    """Whether a dotted module name is timing-model code.
+
+    Shared by :class:`FileContext` and the project-level taint rules, so
+    per-file and cross-file passes agree on what "model scope" means.
+    """
+    if module in MODEL_MODULES:
+        return True
+    parts = module.split(".")
+    return (
+        len(parts) >= 2 and parts[0] == "repro" and parts[1] in MODEL_PACKAGES
+    )
 
 
 class FileContext:
@@ -48,14 +65,7 @@ class FileContext:
     @property
     def in_model_scope(self) -> bool:
         """Whether this module is timing-model code (see MODEL_PACKAGES)."""
-        parts = self.module_parts
-        if self.module in MODEL_MODULES:
-            return True
-        return (
-            len(parts) >= 2
-            and parts[0] == "repro"
-            and parts[1] in MODEL_PACKAGES
-        )
+        return is_model_module(self.module)
 
     @property
     def is_rng_module(self) -> bool:
@@ -82,10 +92,34 @@ class Rule:
     summary: str = ""
     #: why the invariant matters for reproduction fidelity.
     rationale: str = ""
+    #: when True, the whole-tree runner skips ``check`` and relies on
+    #: ``check_project`` alone: the project-level analysis subsumes the
+    #: per-file one with better precision (e.g. cache-key-completeness
+    #: following fields across module boundaries).  ``lint_source`` /
+    #: ``lint_file`` — which have no project — still run ``check``.
+    project_replaces_check: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
-        """Yield findings for one file."""
-        raise NotImplementedError
+        """Yield findings for one file.
+
+        Default: none.  Project-only rules (the concurrency pack) leave
+        this alone and implement ``check_project``; most rules override
+        this one.
+        """
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator[Diagnostic]:
+        """Yield findings that need the whole-program view.
+
+        Default: no project-level findings.  Rules using the call graph
+        and dataflow layers override this; diagnostics are anchored at a
+        call site (not the sink), and the runner filters them through
+        that *file's* pragmas, so ``# repro: allow-<rule>`` works at the
+        reported line exactly like per-file findings.
+        """
+        return iter(())
 
     def __repr__(self) -> str:
         return f"<Rule {self.name}>"

@@ -8,10 +8,14 @@ registered rule has a doc entry and a failing fixture).
 """
 
 from repro.lint.rules import (  # noqa: F401  (side effect: registration)
+    await_discarded,
+    blocking_async,
     cache_key,
+    cross_thread,
     dict_order,
     duplicate_def,
     frozen_config,
+    lock_discipline,
     mutable_default,
     pickle_boundary,
     swallowed_oserror,
@@ -21,10 +25,14 @@ from repro.lint.rules import (  # noqa: F401  (side effect: registration)
 )
 
 __all__ = [
+    "await_discarded",
+    "blocking_async",
     "cache_key",
+    "cross_thread",
     "dict_order",
     "duplicate_def",
     "frozen_config",
+    "lock_discipline",
     "mutable_default",
     "pickle_boundary",
     "swallowed_oserror",

@@ -1,0 +1,66 @@
+"""``await-discarded``: calling a coroutine function without awaiting it."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import iter_body_nodes
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ProjectContext
+from repro.lint.registry import Rule, register
+
+
+@register
+class AwaitDiscarded(Rule):
+    """Flag coroutine calls whose result is silently dropped."""
+
+    name = "await-discarded"
+    summary = "a coroutine called as a bare statement never actually runs"
+    rationale = (
+        "Calling an async def returns a coroutine object; as a bare "
+        "expression statement it is discarded unawaited, so the body — "
+        "the drain, the shutdown, the store write — silently never "
+        "executes, and the only symptom is a 'coroutine was never "
+        "awaited' warning long after the test passed vacuously. The "
+        "call graph knows which project functions are async (including "
+        "across modules), so the dropped call is caught at the call "
+        "site: await it, or hand it to asyncio.create_task/gather if it "
+        "really should run concurrently."
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Diagnostic]:
+        graph = project.graph
+        for fn in project.iter_functions():
+            sites = {
+                id(site.node): site.callee
+                for site in graph.out_edges.get(fn.qualname, ())
+                if site.kind == "call"
+            }
+            if not sites:
+                continue
+            for node in iter_body_nodes(fn.node):
+                if not (
+                    isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                callee = sites.get(id(node.value))
+                if callee is None:
+                    continue
+                target = project.functions.get(callee)
+                if target is None or not target.is_async:
+                    continue
+                yield Diagnostic(
+                    rule=self.name,
+                    path=fn.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    message=(
+                        f"result of coroutine '{target.short_name}' is "
+                        "discarded — the body never runs; await it or "
+                        "wrap it in asyncio.create_task(...)"
+                    ),
+                )

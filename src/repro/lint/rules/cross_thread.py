@@ -1,0 +1,121 @@
+"""``cross-thread-mutable-state``: loop/worker shared writes need a lock."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import CallGraph, CallSite
+from repro.lint.concurrency import AttrWrite, collect_attr_writes
+from repro.lint.dataflow import async_functions, display_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ProjectContext
+from repro.lint.registry import Rule, register
+
+
+def _closure_with_paths(
+    graph: CallGraph, roots: Set[str]
+) -> Dict[str, Optional[CallSite]]:
+    """Reachable nodes over ``call`` edges, with the edge that found each.
+
+    Roots map to ``None``; every other node maps to the call site whose
+    callee it is, so a witness chain can be rebuilt by climbing callers.
+    """
+    parents: Dict[str, Optional[CallSite]] = {r: None for r in roots}
+    frontier = list(roots)
+    while frontier:
+        node = frontier.pop()
+        for site in graph.out_edges.get(node, ()):
+            if site.kind != "call" or site.callee in parents:
+                continue
+            parents[site.callee] = site
+            frontier.append(site.callee)
+    return parents
+
+
+def _chain(
+    node: str, parents: Dict[str, Optional[CallSite]], project: ProjectContext
+) -> str:
+    names = [node]
+    seen = {node}
+    current = parents.get(node)
+    while current is not None and current.caller not in seen:
+        names.append(current.caller)
+        seen.add(current.caller)
+        current = parents.get(current.caller)
+    return " -> ".join(display_name(n, project) for n in reversed(names))
+
+
+@register
+class CrossThreadMutableState(Rule):
+    """Instance state written from both the event loop and worker threads."""
+
+    name = "cross-thread-mutable-state"
+    summary = (
+        "state written from both the event loop and executor workers "
+        "must be lock-protected"
+    )
+    rationale = (
+        "The service keeps per-job records on the loop thread while the "
+        "batcher runs the engine (and the store underneath it) on an "
+        "executor thread; an attribute both sides write without a lock "
+        "is a data race whose loss shows up as drifting cache counters "
+        "or a torn entries dict — nondeterminism in the very layer that "
+        "exists to guarantee bit-identical reruns. The rule computes "
+        "which methods run on the loop (reachable from async defs) and "
+        "which on workers (reachable from callables handed to "
+        "run_in_executor/submit/Thread), and flags attributes written "
+        "unlocked on both sides. Writes inside a designated lock scope "
+        "and in __init__ (construction happens-before sharing) are "
+        "exempt."
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Diagnostic]:
+        graph = project.graph
+        loop_roots = async_functions(project)
+        worker_roots = {
+            site.callee
+            for site in graph.dispatches
+            if site.callee in project.functions
+        }
+        if not loop_roots or not worker_roots:
+            return
+        loop_side = _closure_with_paths(graph, loop_roots)
+        worker_side = _closure_with_paths(graph, worker_roots)
+        for cls in project.classes.values():
+            writes = collect_attr_writes(project, cls)
+            if not writes:
+                continue
+            by_attr: Dict[str, Tuple[List[AttrWrite], List[AttrWrite]]] = {}
+            for write in writes:
+                if write.locked:
+                    continue
+                sides = by_attr.setdefault(write.attr, ([], []))
+                if write.method in loop_side:
+                    sides[0].append(write)
+                if write.method in worker_side:
+                    sides[1].append(write)
+            for attr in sorted(by_attr):
+                loop_writes, worker_writes = by_attr[attr]
+                if not loop_writes or not worker_writes:
+                    continue
+                anchor = min(
+                    loop_writes, key=lambda w: getattr(w.node, "lineno", 1)
+                )
+                worker = worker_writes[0]
+                yield Diagnostic(
+                    rule=self.name,
+                    path=cls.path,
+                    line=getattr(anchor.node, "lineno", 1),
+                    col=getattr(anchor.node, "col_offset", 0),
+                    message=(
+                        f"'{cls.node.name}.{attr}' is written on the "
+                        f"event loop "
+                        f"({_chain(anchor.method, loop_side, project)}) "
+                        f"and from a worker thread "
+                        f"({_chain(worker.method, worker_side, project)}) "
+                        "without a lock; guard both writes with a "
+                        "threading.Lock"
+                    ),
+                )

@@ -1,0 +1,151 @@
+"""``lock-discipline``: designated-lock classes stay inside their locks."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.concurrency import (
+    collect_attr_writes,
+    contextmanager_methods,
+    iter_locked_nodes,
+    lock_attrs,
+    self_param_name,
+)
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import ClassInfo, ProjectContext
+from repro.lint.registry import Rule, register
+
+#: raw file mutations that must happen under the class's lock: these are
+#: the O_APPEND/compaction primitives whose interleaving the flock exists
+#: to serialise.
+RAW_WRITE_OPS = frozenset(
+    {
+        "os.write",
+        "os.pwrite",
+        "os.ftruncate",
+        "os.truncate",
+        "os.fsync",
+        "os.fdatasync",
+    }
+)
+
+
+@register
+class LockDiscipline(Rule):
+    """Audit classes that designate a lock for writes outside it."""
+
+    name = "lock-discipline"
+    summary = (
+        "classes with a designated lock must write files and guarded "
+        "state inside it"
+    )
+    rationale = (
+        "The ResultStore's crash-consistency proof assumes every file "
+        "mutation happens under the advisory flock and every guarded "
+        "in-memory structure under its threading.Lock; one bypass write "
+        "can interleave bytes mid-record or tear the in-memory view, and "
+        "the corruption only surfaces as CRC failures many runs later. "
+        "The rule audits any class that designates a lock (a Lock-typed "
+        "attribute or a @contextmanager lock method): raw os-level file "
+        "writes, and mutations of attributes written under the lock "
+        "elsewhere, must be inside the lock scope — either lexically, or "
+        "in a helper called only from lock scopes (the _heal_tail "
+        "pattern)."
+    )
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Diagnostic]:
+        for cls in project.classes.values():
+            locks = lock_attrs(project, cls)
+            cms = contextmanager_methods(cls)
+            if not locks and not cms:
+                continue  # no designated lock: out of scope
+            yield from self._check_class(project, cls, locks, cms)
+
+    def _check_class(
+        self,
+        project: ProjectContext,
+        cls: ClassInfo,
+        locks: Set[str],
+        cms: Set[str],
+    ) -> Iterator[Diagnostic]:
+        # Per method: unlocked raw-write sites, and self-call sites with
+        # their lock state (for the called-only-under-lock exemption).
+        raw_unlocked: Dict[str, List[ast.Call]] = {}
+        callers: Dict[str, List[Tuple[str, bool]]] = {}
+        for name, method in cls.methods.items():
+            self_name = self_param_name(method.node)
+            if self_name is None:
+                continue
+            out_sites = {
+                id(site.node): site.callee
+                for site in project.graph.out_edges.get(method.qualname, ())
+            }
+            for node, locked in iter_locked_nodes(
+                method.node, self_name, locks, cms
+            ):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = out_sites.get(id(node))
+                if callee in RAW_WRITE_OPS and not locked:
+                    raw_unlocked.setdefault(name, []).append(node)
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == self_name
+                    and node.func.attr in cls.methods
+                ):
+                    callers.setdefault(node.func.attr, []).append(
+                        (name, locked)
+                    )
+
+        def called_only_under_lock(method_name: str) -> bool:
+            sites = callers.get(method_name, [])
+            return bool(sites) and all(locked for _, locked in sites)
+
+        def ctor_or_locked_callers(method_name: str) -> bool:
+            sites = callers.get(method_name, [])
+            return bool(sites) and all(
+                locked or caller == "__init__" for caller, locked in sites
+            )
+
+        for name, nodes in raw_unlocked.items():
+            if name == "__init__" or called_only_under_lock(name):
+                continue
+            for node in nodes:
+                yield self._diag(
+                    cls, node,
+                    f"raw file write in {cls.node.name}.{name} outside "
+                    "the designated lock scope; wrap it in the lock (or "
+                    "call this helper only from locked regions)",
+                )
+
+        # Guarded attributes: written under the lock somewhere, so an
+        # unlocked write elsewhere bypasses the protocol.
+        writes = collect_attr_writes(project, cls)
+        guarded = {w.attr for w in writes if w.locked}
+        for write in writes:
+            if write.locked or write.attr not in guarded:
+                continue
+            method_name = write.method.rsplit(".", 1)[-1]
+            if ctor_or_locked_callers(method_name):
+                continue
+            yield self._diag(
+                cls, write.node,
+                f"'{cls.node.name}.{write.attr}' is written under the "
+                f"designated lock elsewhere but mutated without it in "
+                f"{method_name}()",
+            )
+
+    def _diag(
+        self, cls: ClassInfo, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule=self.name,
+            path=cls.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

@@ -16,7 +16,7 @@ import sys
 from typing import List, Optional
 
 from repro.service.server import ServiceConfig, SimService
-from repro.telemetry.manifest import write_manifest
+from repro.telemetry.manifest import RunManifest, write_manifest
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,9 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 async def serve(
-    config: ServiceConfig, manifest_path: Optional[str] = None
-) -> None:
-    """Run one service until a termination signal, then drain."""
+    config: ServiceConfig, want_manifest: bool = False
+) -> Optional[RunManifest]:
+    """Run one service until a termination signal, then drain.
+
+    Returns the post-drain provenance manifest when asked for one; the
+    caller writes it *after* the loop exits — file I/O from a coroutine
+    would block the loop (and trips the ``blocking-in-async`` lint).
+    """
     service = SimService(config)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -95,10 +100,9 @@ async def serve(
     await stop.wait()
     print("repro-serve: draining", flush=True)
     await service.drain()
-    if manifest_path is not None:
-        write_manifest(manifest_path, service.manifest())
-        print(f"repro-serve: manifest written to {manifest_path}", flush=True)
+    manifest = service.manifest() if want_manifest else None
     print("repro-serve: drained cleanly", flush=True)
+    return manifest
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -122,9 +126,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir=args.cache_dir,
     )
     try:
-        asyncio.run(serve(config, manifest_path=args.manifest))
+        manifest = asyncio.run(
+            serve(config, want_manifest=args.manifest is not None)
+        )
     except KeyboardInterrupt:
         return 130
+    if manifest is not None and args.manifest is not None:
+        write_manifest(args.manifest, manifest)
+        print(
+            f"repro-serve: manifest written to {args.manifest}", flush=True
+        )
     return 0
 
 

@@ -370,7 +370,11 @@ class SimService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self._batch_pool.shutdown(wait=True)
+        # shutdown(wait=True) joins the worker thread — off-loop, so a
+        # long final batch cannot stall health checks while we drain
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._batch_pool.shutdown
+        )
 
     def manifest(self) -> RunManifest:
         """A live provenance manifest: engine + store + service counters."""

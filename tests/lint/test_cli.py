@@ -36,6 +36,13 @@ def test_clean_tree_exits_zero():
     assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
+def test_whole_tree_is_clean_including_tests_and_benchmarks():
+    # the CI gate lints the full tree — src, tests, benchmarks — with
+    # the project pass on; it must hold without pragmas in src/repro
+    proc = run_cli("src", "tests", "benchmarks")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
 def test_findings_exit_one_with_text_report(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text(BAD_SOURCE)
@@ -54,6 +61,50 @@ def test_json_format_is_machine_readable(tmp_path):
     assert payload and payload[0]["rule"] == "no-mutable-default"
     assert payload[0]["line"] == 1
     assert payload[0]["path"] == str(bad)
+
+
+def test_github_format_emits_error_workflow_commands(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    proc = run_cli("--format=github", str(bad))
+    assert proc.returncode == 1
+    line = proc.stdout.strip().splitlines()[0]
+    assert line.startswith("::error file=")
+    assert ",line=1," in line
+    assert "title=no-mutable-default" in line
+    # workflow commands put the message after the :: separator
+    assert "::" in line.split("title=no-mutable-default", 1)[1]
+
+
+def test_github_format_escapes_property_delimiters(tmp_path):
+    # a path containing a comma must not split the file property
+    subdir = tmp_path / "odd,dir"
+    subdir.mkdir()
+    bad = subdir / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    proc = run_cli("--format=github", str(bad))
+    assert proc.returncode == 1
+    line = proc.stdout.strip().splitlines()[0]
+    assert "odd%2Cdir" in line
+
+
+def test_stats_go_to_stderr_and_compose_with_formats(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_SOURCE)
+    proc = run_cli("--stats", "--format=json", str(bad))
+    assert proc.returncode == 1
+    json.loads(proc.stdout)  # stdout stays machine-readable
+    assert "stats: 1 files" in proc.stderr
+    assert "project pass" in proc.stderr
+    assert "stats: no-mutable-default: 1" in proc.stderr
+
+
+def test_stats_on_a_clean_run_reports_zero_findings(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("def f(x=None):\n    return x\n")
+    proc = run_cli("--stats", str(good))
+    assert proc.returncode == 0
+    assert "0 findings" in proc.stderr
 
 
 def test_select_restricts_rules(tmp_path):

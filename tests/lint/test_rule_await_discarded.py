@@ -1,0 +1,125 @@
+"""await-discarded: a coroutine called as a bare statement never runs."""
+
+import textwrap
+
+from repro.lint import lint_modules
+
+RULE = "await-discarded"
+
+
+def findings(sources):
+    diags = lint_modules(
+        {m: textwrap.dedent(s) for m, s in sources.items()}
+    )
+    return [d for d in diags if d.rule == RULE]
+
+
+def test_bare_coroutine_call_fires():
+    diags = findings(
+        {
+            "repro.service.api": """
+            async def drain():
+                return 1
+
+            async def shutdown():
+                drain()
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert "drain" in diags[0].message
+    assert "never runs" in diags[0].message
+
+
+def test_cross_file_coroutine_call_fires():
+    # the caller's file has no idea drain is async; the project does
+    diags = findings(
+        {
+            "repro.service.api": """
+            from repro.service.core import drain
+
+            def stop():
+                drain()
+            """,
+            "repro.service.core": """
+            async def drain():
+                return 1
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert diags[0].path.endswith("api.py")
+
+
+def test_awaited_call_passes():
+    assert (
+        findings(
+            {
+                "repro.service.api": """
+            async def drain():
+                return 1
+
+            async def shutdown():
+                await drain()
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_create_task_wrapped_call_passes():
+    assert (
+        findings(
+            {
+                "repro.service.api": """
+            import asyncio
+
+            async def drain():
+                return 1
+
+            async def shutdown():
+                asyncio.create_task(drain())
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_assigned_coroutine_passes():
+    # binding the coroutine object is deliberate (gather, task lists)
+    assert (
+        findings(
+            {
+                "repro.service.api": """
+            import asyncio
+
+            async def drain():
+                return 1
+
+            async def shutdown():
+                tasks = [drain(), drain()]
+                await asyncio.gather(*tasks)
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_sync_function_call_as_statement_passes():
+    assert (
+        findings(
+            {
+                "repro.service.api": """
+            def log(msg):
+                return msg
+
+            async def shutdown():
+                log("bye")
+            """,
+            }
+        )
+        == []
+    )

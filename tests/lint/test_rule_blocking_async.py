@@ -1,0 +1,173 @@
+"""blocking-in-async: coroutines must not reach blocking calls."""
+
+import textwrap
+
+from repro.lint import lint_modules
+
+RULE = "blocking-in-async"
+
+
+def findings(sources):
+    diags = lint_modules(
+        {m: textwrap.dedent(s) for m, s in sources.items()}
+    )
+    return [d for d in diags if d.rule == RULE]
+
+
+DIRECT = {
+    "repro.service.api": """
+        import time
+
+        async def handle():
+            time.sleep(0.1)
+        """,
+}
+
+CROSS_FILE = {
+    "repro.service.api": """
+        from repro.service.io import persist
+
+        async def handle():
+            persist("x")
+        """,
+    "repro.service.io": """
+        def persist(payload):
+            flush(payload)
+
+        def flush(payload):
+            with open("log", "a") as fh:
+                fh.write(payload)
+        """,
+}
+
+
+def test_direct_blocking_call_fires():
+    diags = findings(DIRECT)
+    assert len(diags) == 1
+    assert "time.sleep" in diags[0].message
+    assert "handle" in diags[0].message
+
+
+def test_transitive_cross_file_path_fires_at_the_async_call_site():
+    diags = findings(CROSS_FILE)
+    assert len(diags) == 1
+    diag = diags[0]
+    # anchored in the async file, not at the sink two modules away
+    assert diag.path.endswith("api.py")
+    # the witness chain names every hop down to the sink
+    assert "persist" in diag.message
+    assert "flush" in diag.message
+    assert "open" in diag.message
+
+
+def test_offloading_via_to_thread_is_exempt():
+    sources = dict(CROSS_FILE)
+    sources["repro.service.api"] = """
+        import asyncio
+
+        from repro.service.io import persist
+
+        async def handle():
+            await asyncio.to_thread(persist, "x")
+        """
+    assert findings(sources) == []
+
+
+def test_run_in_executor_is_exempt():
+    sources = dict(CROSS_FILE)
+    sources["repro.service.api"] = """
+        import asyncio
+
+        from repro.service.io import persist
+
+        async def handle():
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, persist, "x")
+        """
+    assert findings(sources) == []
+
+
+def test_object_construction_is_exempt():
+    # __init__ doing file I/O is startup wiring, not steady-state
+    assert (
+        findings(
+            {
+                "repro.service.boot": """
+                class Store:
+                    def __init__(self):
+                        self.fh = open("log", "a")
+
+                async def start():
+                    return Store()
+                """,
+            }
+        )
+        == []
+    )
+
+
+def test_each_offending_coroutine_reports_once():
+    # outer awaits inner; only inner owns the blocking hop
+    diags = findings(
+        {
+            "repro.service.chain": """
+            import time
+
+            async def inner():
+                time.sleep(0.1)
+
+            async def outer():
+                await inner()
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert "inner" in diags[0].message
+
+
+def test_sim_engine_run_is_a_project_sink():
+    diags = findings(
+        {
+            "repro.engine.sim": """
+            class SimEngine:
+                def run(self, job):
+                    return job
+            """,
+            "repro.service.api": """
+            from repro.engine.sim import SimEngine
+
+            async def handle(engine: SimEngine, job):
+                return engine.run(job)
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert "SimEngine.run" in diags[0].message
+
+
+# ------------------------------------------------- pragma anchor semantics
+
+
+def test_pragma_at_the_call_site_suppresses():
+    sources = dict(CROSS_FILE)
+    sources["repro.service.api"] = """
+        from repro.service.io import persist
+
+        async def handle():
+            persist("x")  # repro: allow-blocking-in-async
+        """
+    assert findings(sources) == []
+
+
+def test_pragma_at_the_sink_does_not_suppress_callers():
+    # suppression must stay visible next to every reported line
+    sources = dict(CROSS_FILE)
+    sources["repro.service.io"] = """
+        def persist(payload):
+            flush(payload)
+
+        def flush(payload):
+            with open("log", "a") as fh:  # repro: allow-blocking-in-async
+                fh.write(payload)
+        """
+    assert len(findings(sources)) == 1

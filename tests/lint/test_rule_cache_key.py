@@ -2,7 +2,7 @@
 
 import textwrap
 
-from repro.lint import lint_source
+from repro.lint import lint_modules, lint_source
 
 BAD_ESCAPED_FIELD = textwrap.dedent(
     """
@@ -140,3 +140,102 @@ def test_conditional_backend_read_covers_the_field():
 def test_applies_tree_wide():
     # a job spec living in any module is still checked
     assert findings(BAD_ESCAPED_FIELD, module="repro.experiments.common")
+
+
+# ----------------------------------------- cross-module field tracking
+
+
+SPEC_VIA_HELPER = """
+    from dataclasses import dataclass
+
+    from repro.engine.keys import digest
+
+    @dataclass(frozen=True)
+    class Job:
+        alpha: int
+        beta: int
+
+        def cache_key(self):
+            return digest(self)
+    """
+
+
+def project_findings(sources):
+    diags = lint_modules(
+        {m: textwrap.dedent(s) for m, s in sources.items()}
+    )
+    return [d for d in diags if d.rule == "cache-key-completeness"]
+
+
+def test_helper_in_another_module_covers_the_fields_it_reads():
+    assert (
+        project_findings(
+            {
+                "repro.engine.spec": SPEC_VIA_HELPER,
+                "repro.engine.keys": """
+            def digest(job):
+                return (job.alpha, job.beta)
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_fires_when_the_cross_module_helper_misses_a_field():
+    diags = project_findings(
+        {
+            "repro.engine.spec": SPEC_VIA_HELPER,
+            "repro.engine.keys": """
+            def digest(job):
+                return (job.alpha,)
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert "beta" in diags[0].message
+    assert diags[0].path.endswith("spec.py")
+
+
+def test_helper_forwarding_the_object_is_followed_one_more_level():
+    assert (
+        project_findings(
+            {
+                "repro.engine.spec": SPEC_VIA_HELPER,
+                "repro.engine.keys": """
+            def digest(job):
+                return _fold(job)
+
+            def _fold(item):
+                return (item.alpha, item.beta)
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_whole_object_helper_in_another_module_covers_everything():
+    assert (
+        project_findings(
+            {
+                "repro.engine.spec": SPEC_VIA_HELPER,
+                "repro.engine.keys": """
+            from dataclasses import astuple
+
+            def digest(job):
+                return astuple(job)
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_per_file_pass_alone_cannot_credit_cross_module_helpers():
+    # lint_source has no project: the helper's reads are invisible, so
+    # both fields look uncovered — which is exactly why the project pass
+    # replaces the per-file one on whole-tree runs
+    diags = findings(textwrap.dedent(SPEC_VIA_HELPER))
+    assert {d.rule for d in diags} == {"cache-key-completeness"}
+    assert len(diags) == 2

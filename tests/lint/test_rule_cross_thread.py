@@ -1,0 +1,158 @@
+"""cross-thread-mutable-state: loop/worker shared writes need a lock."""
+
+import textwrap
+
+from repro.lint import lint_modules
+
+RULE = "cross-thread-mutable-state"
+
+
+def findings(sources):
+    diags = lint_modules(
+        {m: textwrap.dedent(s) for m, s in sources.items()}
+    )
+    return [d for d in diags if d.rule == RULE]
+
+
+RACY = {
+    "repro.service.srv": """
+        import threading
+
+        class Service:
+            def __init__(self):
+                self.pending = 0
+
+            async def submit(self):
+                self.pending += 1
+                thread = threading.Thread(target=self.worker)
+                thread.start()
+
+            def worker(self):
+                self.pending -= 1
+        """,
+}
+
+
+def test_attribute_written_on_both_sides_fires():
+    diags = findings(RACY)
+    assert len(diags) == 1
+    diag = diags[0]
+    assert "Service.pending" in diag.message
+    # both witness chains are named in the message
+    assert "submit" in diag.message
+    assert "worker" in diag.message
+
+
+def test_lock_guarded_writes_pass():
+    assert (
+        findings(
+            {
+                "repro.service.srv": """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._mu = threading.Lock()
+                    self.pending = 0
+
+                async def submit(self):
+                    with self._mu:
+                        self.pending += 1
+                    thread = threading.Thread(target=self.worker)
+                    thread.start()
+
+                def worker(self):
+                    with self._mu:
+                        self.pending -= 1
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_single_sided_writes_pass():
+    # no worker dispatch: everything runs on the loop thread
+    assert (
+        findings(
+            {
+                "repro.service.srv": """
+            class Service:
+                def __init__(self):
+                    self.pending = 0
+
+                async def submit(self):
+                    self.pending += 1
+
+                def bookkeep(self):
+                    self.pending -= 1
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_transitive_cross_file_race_fires_on_the_shared_class():
+    diags = findings(
+        {
+            "repro.service.srv": """
+            import threading
+
+            from repro.service.state import Tracker
+
+            class Service:
+                def __init__(self):
+                    self.tracker = Tracker()
+
+                async def submit(self):
+                    self.tracker.bump()
+                    thread = threading.Thread(target=self.drudge)
+                    thread.start()
+
+                def drudge(self):
+                    self.tracker.drop()
+            """,
+            "repro.service.state": """
+            class Tracker:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+
+                def drop(self):
+                    self.count -= 1
+            """,
+        }
+    )
+    assert len(diags) == 1
+    diag = diags[0]
+    # the race lives on Tracker, a module away from the dispatch
+    assert diag.path.endswith("state.py")
+    assert "Tracker.count" in diag.message
+    assert "Service.submit -> Tracker.bump" in diag.message
+
+
+def test_executor_submit_marks_the_worker_side():
+    diags = findings(
+        {
+            "repro.service.srv": """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Service:
+                def __init__(self):
+                    self.inflight = 0
+                    self.pool = ThreadPoolExecutor(max_workers=1)
+
+                async def submit(self):
+                    self.inflight += 1
+                    self.pool.submit(self.job)
+
+                def job(self):
+                    self.inflight -= 1
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert "Service.inflight" in diags[0].message

@@ -1,0 +1,179 @@
+"""lock-discipline: designated-lock classes stay inside their locks."""
+
+import textwrap
+
+from repro.lint import lint_modules
+
+RULE = "lock-discipline"
+
+
+def findings(sources):
+    diags = lint_modules(
+        {m: textwrap.dedent(s) for m, s in sources.items()}
+    )
+    return [d for d in diags if d.rule == RULE]
+
+
+def test_unlocked_raw_write_fires():
+    diags = findings(
+        {
+            "repro.engine.storelike": """
+            import os
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fd = os.open("data", os.O_RDWR)
+
+                def append(self, payload):
+                    os.write(self._fd, payload)
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert "raw file write" in diags[0].message
+    assert "Store.append" in diags[0].message
+
+
+def test_write_inside_the_lock_passes():
+    assert (
+        findings(
+            {
+                "repro.engine.storelike": """
+            import os
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fd = os.open("data", os.O_RDWR)
+
+                def append(self, payload):
+                    with self._lock:
+                        os.write(self._fd, payload)
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_helper_called_only_from_locked_regions_is_exempt():
+    # the _heal_tail pattern: the lock is taken one frame up
+    assert (
+        findings(
+            {
+                "repro.engine.storelike": """
+            import os
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._fd = os.open("data", os.O_RDWR)
+
+                def append(self, payload):
+                    with self._lock:
+                        self._write(payload)
+
+                def _write(self, payload):
+                    os.write(self._fd, payload)
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_unlocked_write_to_guarded_attribute_fires():
+    diags = findings(
+        {
+            "repro.engine.storelike": """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def record(self, key):
+                    with self._lock:
+                        self._entries[key] = 1
+
+                def fast_path(self, key):
+                    self._entries[key] = 2
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert "_entries" in diags[0].message
+    assert "fast_path" in diags[0].message
+
+
+def test_contextmanager_lock_method_counts_as_a_lock_scope():
+    diags = findings(
+        {
+            "repro.engine.storelike": """
+            import os
+            from contextlib import contextmanager
+
+            class Store:
+                @contextmanager
+                def _locked(self):
+                    yield
+
+                def append(self, payload):
+                    with self._locked():
+                        os.write(1, payload)
+
+                def sneak(self, payload):
+                    os.write(1, payload)
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert "Store.sneak" in diags[0].message
+
+
+def test_class_without_a_designated_lock_is_out_of_scope():
+    # raw writes alone do not opt a class into the audit
+    assert (
+        findings(
+            {
+                "repro.engine.plainlog": """
+            import os
+
+            class Log:
+                def append(self, payload):
+                    os.write(1, payload)
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_lock_inherited_from_a_base_class_is_recognised():
+    diags = findings(
+        {
+            "repro.engine.base": """
+            import threading
+
+            class Locked:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """,
+            "repro.engine.derived": """
+            import os
+
+            from repro.engine.base import Locked
+
+            class Store(Locked):
+                def append(self, payload):
+                    os.write(1, payload)
+            """,
+        }
+    )
+    assert len(diags) == 1
+    assert diags[0].path.endswith("derived.py")

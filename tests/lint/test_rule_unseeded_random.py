@@ -2,7 +2,7 @@
 
 import textwrap
 
-from repro.lint import lint_source
+from repro.lint import lint_modules, lint_source
 
 BAD_MODEL_IMPORT = textwrap.dedent(
     """
@@ -87,3 +87,82 @@ def test_sanctioned_wrapper_is_exempt():
 
 def test_substream_usage_is_clean():
     assert rules_fired(OK_SUBSTREAM, "repro.explore.annealing") == []
+
+
+# ------------------------------------------------- project-pass taint
+
+
+def project_findings(sources):
+    diags = lint_modules(
+        {m: textwrap.dedent(s) for m, s in sources.items()}
+    )
+    return [d for d in diags if d.rule == "no-unseeded-random"]
+
+
+def test_model_code_reaching_the_global_stream_transitively_fires():
+    diags = project_findings(
+        {
+            "repro.core.dram": """
+            from repro.helpers.noise import perturb
+
+            def latency(base):
+                return base + perturb()
+            """,
+            "repro.helpers.noise": """
+            import random
+
+            def perturb():
+                return random.random()
+            """,
+        }
+    )
+    # the helper's own direct call is the per-file pass's finding; the
+    # transitive model-side finding is the project pass's
+    model_side = [d for d in diags if d.path.endswith("dram.py")]
+    assert len(model_side) == 1
+    assert "random.random" in model_side[0].message
+    assert "substream" in model_side[0].message
+
+
+def test_seeded_helper_instance_is_not_a_taint_source():
+    assert (
+        project_findings(
+            {
+                "repro.core.dram": """
+            from repro.helpers.noise import perturb
+
+            def latency(base, seed):
+                return base + perturb(seed)
+            """,
+                "repro.helpers.noise": """
+            import random
+
+            def perturb(seed):
+                return random.Random(seed).random()
+            """,
+            }
+        )
+        == []
+    )
+
+
+def test_draw_routed_through_the_rng_module_passes():
+    assert (
+        project_findings(
+            {
+                "repro.core.dram": """
+            from repro.util.rng import substream
+
+            def latency(base, seed):
+                return base + substream(seed, "dram").random()
+            """,
+                "repro.util.rng": """
+            import random
+
+            def substream(seed, *names):
+                return random.Random((seed,) + names)
+            """,
+            }
+        )
+        == []
+    )

@@ -1,6 +1,8 @@
 """Runner plumbing: module naming, file walking, syntax-error handling."""
 
-from repro.lint import lint_paths, lint_source
+import os
+
+from repro.lint import lint_modules, lint_paths, lint_paths_report, lint_source
 from repro.lint.runner import iter_python_files, module_name_for
 
 
@@ -12,6 +14,47 @@ def test_module_name_anchors_at_repro_package():
 
 def test_module_name_fallback_outside_package():
     assert module_name_for("/tmp/scratch/helper.py") == "helper"
+
+
+def test_module_name_init_outside_package_falls_back_to_stem():
+    # no repro anchor to hang the package name on
+    assert module_name_for("/tmp/scratch/__init__.py") == "__init__"
+
+
+def test_module_name_through_a_symlinked_checkout(tmp_path):
+    # anchoring is textual over the *given* path, so a tree reached
+    # through a symlinked parent keeps its repro.* names
+    real = tmp_path / "checkout" / "src" / "repro" / "uarch"
+    real.mkdir(parents=True)
+    (real / "core.py").write_text("X = 1\n")
+    link = tmp_path / "link"
+    os.symlink(tmp_path / "checkout", link)
+    path = link / "src" / "repro" / "uarch" / "core.py"
+    assert module_name_for(str(path)) == "repro.uarch.core"
+
+
+def test_symlink_named_repro_anchors_module_names(tmp_path):
+    # ... and a symlink *named* repro is model scope by that same rule
+    real = tmp_path / "pkgdata" / "uarch"
+    real.mkdir(parents=True)
+    (real / "core.py").write_text("X = 1\n")
+    os.symlink(tmp_path / "pkgdata", tmp_path / "repro")
+    assert (
+        module_name_for(str(tmp_path / "repro" / "uarch" / "core.py"))
+        == "repro.uarch.core"
+    )
+
+
+def test_lint_paths_scopes_rules_through_a_symlinked_tree(tmp_path):
+    real = tmp_path / "pkg" / "repro" / "uarch"
+    real.mkdir(parents=True)
+    (real / "core.py").write_text(
+        "import time\n\ndef step():\n    return time.time()\n"
+    )
+    link = tmp_path / "alias"
+    os.symlink(tmp_path / "pkg", link)
+    diags = lint_paths([str(link)])
+    assert any(d.rule == "no-wallclock" for d in diags)
 
 
 def test_syntax_error_becomes_diagnostic():
@@ -45,3 +88,37 @@ def test_findings_are_ordered_within_a_file():
     )
     diags = lint_source(source, module="repro.engine.engine")
     assert [d.line for d in diags] == sorted(d.line for d in diags)
+
+
+def test_lint_paths_report_carries_run_telemetry(tmp_path):
+    (tmp_path / "bad.py").write_text("def f(x=[]):\n    return x\n")
+    (tmp_path / "good.py").write_text("def f(x=None):\n    return x\n")
+    report = lint_paths_report([str(tmp_path)])
+    assert report.file_count == 2
+    assert report.line_count == 4
+    assert report.per_rule_counts() == {"no-mutable-default": 1}
+    assert report.project_build_seconds > 0.0
+    assert report.total_seconds >= report.project_build_seconds
+
+
+def test_lint_modules_runs_both_passes():
+    # per-file finding (mutable default) and project finding (discarded
+    # coroutine) from one synthetic two-module project
+    diags = lint_modules(
+        {
+            "repro.service.core": "async def drain():\n    return 1\n",
+            "repro.service.api": (
+                "from repro.service.core import drain\n"
+                "\n"
+                "def stop(extra=[]):\n"
+                "    drain()\n"
+            ),
+        }
+    )
+    assert {d.rule for d in diags} == {
+        "no-mutable-default",
+        "await-discarded",
+    }
+    # synthesised paths follow the dotted module names
+    assert all(d.path == os.path.join("repro", "service", "api.py")
+               for d in diags)
