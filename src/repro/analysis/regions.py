@@ -3,7 +3,7 @@
 from dataclasses import dataclass
 from typing import List
 
-from repro.isa.trace import Trace
+from repro.isa.trace import TraceSource
 from repro.uarch.config import CoreConfig
 from repro.uarch.run import run_standalone
 
@@ -50,7 +50,7 @@ class RegionLog:
 
 
 def region_log(
-    config: CoreConfig, trace: Trace, region_size: int = BASE_REGION
+    config: CoreConfig, trace: TraceSource, region_size: int = BASE_REGION
 ) -> RegionLog:
     """Run ``trace`` standalone on ``config`` and log per-region times."""
     result = run_standalone(config, trace, region_size=region_size)

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 from typing import Protocol
 
 if TYPE_CHECKING:  # runtime import would be circular through repro.uarch.run
-    from repro.isa.trace import Trace
+    from repro.isa.trace import TraceSource
     from repro.uarch.config import CoreConfig
     from repro.uarch.run import StandaloneResult
 
@@ -97,7 +97,7 @@ class SimBackend(Protocol):
     def run_standalone(
         self,
         config: "CoreConfig",
-        trace: "Trace",
+        trace: "TraceSource",
         region_size: int = 0,
         max_cycles: int = 0,
         prewarm: bool = True,

@@ -58,7 +58,8 @@ from repro.backend.base import (
     BackendUnavailable,
     get_backend,
 )
-from repro.isa.trace import Trace
+from repro.isa.stream import StreamingTrace
+from repro.isa.trace import TraceSource
 from repro.uarch.branch import make_predictor
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import (
@@ -116,7 +117,7 @@ class ColumnarBackend:
     def run_standalone(
         self,
         config: CoreConfig,
-        trace: Trace,
+        trace: TraceSource,
         region_size: int = 0,
         max_cycles: int = 0,
         prewarm: bool = True,
@@ -136,9 +137,14 @@ class ColumnarBackend:
                 prewarm, skip_ahead, tracer,
             )
         np = _require_numpy()
-        result, reason = _schedule(
-            np, config, trace, region_size, max_cycles, prewarm
-        )
+        if isinstance(trace, StreamingTrace):
+            result, reason = _schedule_stream(
+                np, config, trace, region_size, max_cycles, prewarm
+            )
+        else:
+            result, reason = _schedule(
+                np, config, trace, region_size, max_cycles, prewarm
+            )
         if result is not None:
             self.stats.fast_runs += 1
             return result
@@ -152,7 +158,7 @@ class ColumnarBackend:
         self,
         reason: str,
         config: CoreConfig,
-        trace: Trace,
+        trace: TraceSource,
         region_size: int,
         max_cycles: int,
         prewarm: bool,
@@ -280,7 +286,7 @@ def _fetch_segment(
 def _schedule(
     np: Any,
     config: CoreConfig,
-    trace: Trace,
+    trace: TraceSource,
     region_size: int,
     max_cycles: int,
     prewarm: bool,
@@ -388,6 +394,273 @@ def _schedule(
     if region_size:
         marks = np.arange(region_size - 1, n, region_size, dtype=np.int64)
         regions = [int(t) for t in (commit[marks] + 1) * period]
+    stats.region_times_ps = regions
+    result = StandaloneResult(
+        config_name=config.name,
+        trace_name=trace.name,
+        instructions=n,
+        cycles=cycles,
+        time_ps=cycles * period,
+        stats=stats,
+        region_times_ps=list(regions),
+    )
+    return result, None
+
+
+def _fetch_chunk_segment(
+    np: Any, out: Any, brk: Any, base: int, prefix: int, width: int
+) -> Tuple[int, int]:
+    """Fetch cycles for one chunk-local slice of a stall-free segment.
+
+    The chunked counterpart of :func:`_fetch_segment`: the slice may begin
+    mid-stretch (``prefix`` instructions of the current stretch were
+    fetched in earlier chunks, the stretch began at cycle ``base``) and
+    may end mid-stretch.  Returns the carried ``(base, prefix)`` for the
+    next slice: the open stretch's base cycle and accumulated length, or
+    the next stretch's fresh base when the slice ends on a break.
+    Identical to the whole-trace math when ``prefix == 0`` and the slice
+    covers the segment (pinned by the corpus parity suite).
+    """
+    m = int(out.size)
+    inner = np.flatnonzero(brk[:-1])  # breaks strictly inside the slice
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), inner + 1))
+    lens = np.diff(np.concatenate((starts, np.asarray([m], dtype=np.int64))))
+    prefixes = np.zeros(starts.size, dtype=np.int64)
+    prefixes[0] = prefix
+    eff = lens + prefixes  # full stretch lengths, carried prefix included
+    costs = (eff - 1) // width + 1
+    bases = np.empty(starts.size, dtype=np.int64)
+    bases[0] = base
+    if starts.size > 1:
+        bases[1:] = base + np.cumsum(costs[:-1])
+    stretch = np.zeros(m, dtype=np.int64)
+    stretch[1:] = np.cumsum(brk[:-1])
+    offs = np.arange(m, dtype=np.int64) - starts[stretch] + prefixes[stretch]
+    out[:] = bases[stretch] + offs // width
+    if bool(brk[m - 1]):
+        return int(bases[-1] + costs[-1]), 0
+    return int(bases[-1]), int(eff[-1])
+
+
+def _keep_tail(np: Any, tail: Any, local: Any, keep: int) -> Any:
+    """The last ``keep`` values of ``tail`` followed by ``local``."""
+    if local.size >= keep:
+        return local[-keep:].copy()
+    joined = np.concatenate((tail, local))
+    return joined[-keep:] if joined.size > keep else joined
+
+
+def _schedule_stream(
+    np: Any,
+    config: CoreConfig,
+    trace: StreamingTrace,
+    region_size: int,
+    max_cycles: int,
+    prewarm: bool,
+) -> Tuple[Optional["StandaloneResult"], Optional[str]]:
+    """Chunked schedule of a streaming trace with carried pipeline state.
+
+    Processes the generated chunk stream left to right, holding one chunk
+    of columns at a time.  Everything the whole-trace algorithm computes
+    globally carries across chunk boundaries in bounded state:
+
+    * **fetch** — the open stretch's ``(base, prefix)``
+      (:func:`_fetch_chunk_segment`); segment boundaries at mispredicted
+      branches behave exactly as in the whole-trace loop.
+    * **dispatch / issue / commit** — ``width``-deep conveyor tails, the
+      same carry the whole-trace path uses between segments.
+    * **predictor** — replayed sequentially across chunks (one extra
+      generation pass when ``prewarm`` asks for a warmed predictor).
+    * **certificates** — checked per chunk against ``T``-deep tails,
+      ``T = max(width, fetch-queue, ROB, IQ capacities)``.  The windowed
+      checks are sound: queue occupancies are suffix counts on monotone
+      stage arrays, so a window of at least the capacity either covers the
+      whole in-flight suffix (exact) or is itself entirely in flight
+      (count >= capacity — a genuine violation).  A producer older than
+      ``T >= rob_size`` instructions must be committed wherever the ROB
+      certificate holds, so skipping it cannot hide a dependency stall.
+
+    Peak residency is O(chunk + T), never O(trace) — the bound the RSS
+    regression test enforces on million-instruction runs.
+    """
+    from repro.uarch.run import StandaloneResult
+
+    n = len(trace)
+    width = config.width
+    fe_depth = config.frontend_depth
+    sched = config.sched_depth
+    awaken = config.awaken_latency
+    lat_table = np.asarray(_EXEC_LAT, dtype=np.int64)
+    tail_len = max(
+        width, config.fetch_queue_size, config.rob_size, config.iq_size
+    )
+
+    predictor = None
+    if not config.perfect_predictor:
+        predictor = make_predictor(config.predictor, config.predictor_entries)
+        if prewarm:
+            # Prewarm pass: replay every branch once in program order,
+            # checking the capability envelope on the way so an out-of-
+            # envelope trace costs at most one generation pass.
+            for chunk in trace.chunks():
+                ops_l = np.asarray(chunk.ops, dtype=np.int64)
+                reason = _static_reason(np, ops_l)
+                if reason is not None:
+                    return None, reason
+                for b in np.flatnonzero(ops_l == OP_BRANCH).tolist():
+                    predictor.update(chunk.pcs[b], chunk.takens[b])
+
+    empty = np.zeros(0, dtype=np.int64)
+    disp_tail = empty
+    issue_tail = empty
+    comp_tail = empty
+    commit_tail = empty
+    seg_base = 0
+    seg_prefix = 0
+    chunk_base = 0
+    branches = 0
+    mispredicts = 0
+    fetch_stall = 0
+    last_commit = 0
+    period = config.period_ps
+    regions: List[int] = []
+
+    for chunk in trace.chunks():
+        m = len(chunk)
+        ops_l = np.asarray(chunk.ops, dtype=np.int64)
+        reason = _static_reason(np, ops_l)
+        if reason is not None:
+            return None, reason
+        takens_l = np.asarray(chunk.takens, dtype=bool)
+        is_branch = ops_l == OP_BRANCH
+        branch_idx = np.flatnonzero(is_branch)
+        mis = np.zeros(m, dtype=bool)
+        if predictor is not None and branch_idx.size:
+            pcs = chunk.pcs
+            tks = chunk.takens
+            flags = []
+            for b in branch_idx.tolist():
+                pc = pcs[b]
+                taken = tks[b]
+                flags.append(predictor.predict(pc) != taken)
+                predictor.update(pc, taken)
+            mis[branch_idx] = flags
+        brk = is_branch & (mis | takens_l)
+        lat = lat_table[ops_l]
+
+        fetch_l = np.empty(m, dtype=np.int64)
+        disp_l = np.empty(m, dtype=np.int64)
+        issue_l = np.empty(m, dtype=np.int64)
+        comp_l = np.empty(m, dtype=np.int64)
+
+        bounds = np.flatnonzero(mis).tolist()
+        s = 0
+        for k in range(len(bounds) + 1):
+            e = bounds[k] + 1 if k < len(bounds) else m
+            if e > s:
+                seg_base, seg_prefix = _fetch_chunk_segment(
+                    np, fetch_l[s:e], brk[s:e], seg_base, seg_prefix, width
+                )
+                disp_l[s:e] = _conveyor(
+                    np, fetch_l[s:e] + fe_depth, width,
+                    _keep_tail(np, disp_tail, disp_l[:s], width),
+                )
+                issue_l[s:e] = _conveyor(
+                    np, disp_l[s:e] + 1, width,
+                    _keep_tail(np, issue_tail, issue_l[:s], width),
+                )
+                comp_l[s:e] = issue_l[s:e] + sched + lat[s:e]
+            if k < len(bounds):
+                seg_base = int(comp_l[bounds[k]])
+                seg_prefix = 0
+            s = e
+        commit_l = _conveyor(
+            np, comp_l + 1, width, _keep_tail(np, commit_tail, empty, width)
+        )
+
+        # --- windowed exactness certificates (see docstring) -------------
+        t = int(disp_tail.size)  # every cert tail has the same length
+        covered_base = chunk_base - t
+        rank = np.arange(chunk_base, chunk_base + m, dtype=np.int64)
+        leq = covered_base + np.searchsorted(
+            np.concatenate((disp_tail, disp_l)), fetch_l, side="right"
+        )
+        if np.any(rank - leq >= config.fetch_queue_size):
+            return None, "fetch-queue-pressure"
+        leq = covered_base + np.searchsorted(
+            np.concatenate((commit_tail, commit_l)), disp_l, side="right"
+        )
+        if np.any(rank - leq >= config.rob_size):
+            return None, "rob-pressure"
+        leq = covered_base + np.searchsorted(
+            np.concatenate((issue_tail, issue_l)), disp_l, side="right"
+        )
+        if np.any(rank - leq >= config.iq_size):
+            return None, "iq-pressure"
+        for deps_list in (chunk.deps1, chunk.deps2):
+            deps = np.asarray(deps_list, dtype=np.int64)
+            have = np.flatnonzero(deps >= 0)
+            if have.size == 0:
+                continue
+            producers = deps[have]
+            d_disp = disp_l[have]
+            local = producers >= chunk_base
+            near = (~local) & (producers >= covered_base)
+            comp_p = np.zeros(producers.size, dtype=np.int64)
+            commit_p = np.zeros(producers.size, dtype=np.int64)
+            if np.any(local):
+                idx = producers[local] - chunk_base
+                comp_p[local] = comp_l[idx]
+                commit_p[local] = commit_l[idx]
+            if np.any(near):
+                idx = producers[near] - covered_base
+                comp_p[near] = comp_tail[idx]
+                commit_p[near] = commit_tail[idx]
+            covered = local | near
+            slack_bad = comp_p + awaken > d_disp + 1
+            in_flight = commit_p > d_disp
+            if np.any(covered & slack_bad & in_flight):
+                return None, "dep-pressure"
+
+        # --- accumulate result state -------------------------------------
+        branches += int(branch_idx.size)
+        mis_local = np.flatnonzero(mis)
+        mispredicts += int(mis_local.size)
+        if mis_local.size:
+            fetch_stall += int(
+                np.sum(comp_l[mis_local] - fetch_l[mis_local] - 1)
+            )
+        if region_size:
+            first_k = chunk_base // region_size + 1
+            last_k = (chunk_base + m) // region_size
+            if last_k >= first_k:
+                marks = (
+                    np.arange(first_k, last_k + 1, dtype=np.int64)
+                    * region_size - 1 - chunk_base
+                )
+                regions.extend(
+                    int(v) for v in (commit_l[marks] + 1) * period
+                )
+        last_commit = int(commit_l[m - 1])
+        disp_tail = _keep_tail(np, disp_tail, disp_l, tail_len)
+        issue_tail = _keep_tail(np, issue_tail, issue_l, tail_len)
+        comp_tail = _keep_tail(np, comp_tail, comp_l, tail_len)
+        commit_tail = _keep_tail(np, commit_tail, commit_l, tail_len)
+        chunk_base += m
+
+    cycles = last_commit + 1
+    limit = max_cycles or (n * (config.mem_latency + 64) + 100_000)
+    if cycles > limit:
+        raise RuntimeError(
+            f"core {config.name} exceeded {limit} cycles on trace "
+            f"{trace.name}: likely a pipeline deadlock"
+        )
+    stats = RunStats()
+    stats.cycles = cycles
+    stats.committed = n
+    stats.branches = branches
+    stats.mispredicts = mispredicts
+    stats.fetch_stall_cycles = fetch_stall
     stats.region_times_ps = regions
     result = StandaloneResult(
         config_name=config.name,

@@ -13,7 +13,7 @@ telemetry observers, and region logs.
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.backend.base import BackendCapabilities, BackendStats
-from repro.isa.trace import Trace
+from repro.isa.trace import TraceSource
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import Core
 
@@ -39,7 +39,7 @@ class ReferenceBackend:
     def run_standalone(
         self,
         config: CoreConfig,
-        trace: Trace,
+        trace: TraceSource,
         region_size: int = 0,
         max_cycles: int = 0,
         prewarm: bool = True,

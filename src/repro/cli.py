@@ -23,44 +23,60 @@ from typing import List, Optional
 
 from repro.backend import BACKEND_CHOICES, resolve_backend_name
 from repro.core.system import ContestingSystem
+from repro.corpus import resolve_profile
 from repro.engine import ContestJob, ResultStore, SimEngine, StandaloneJob
 from repro.engine import TraceSpec
 from repro.engine.jobs import TraceLike, resolve_trace
 from repro.isa.generator import generate_trace
+from repro.isa.phases import PhaseMix
 from repro.isa.trace import Trace
 from repro.isa.serialize import load_trace, save_trace
 from repro.isa.stats import characterize
-from repro.isa.workloads import BENCHMARKS, workload_profile
+from repro.isa.workloads import BENCHMARKS
 from repro.uarch.config import APPENDIX_A_CORES, core_config
 from repro.uarch.run import run_standalone
 from repro.util.tables import format_table
 
 
+def _named_profile(name: str) -> PhaseMix:
+    """Resolve a legacy benchmark or ``corpus/...`` workload name, turning
+    a registry miss into a CLI-friendly error."""
+    try:
+        return resolve_profile(name)
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; expected one of "
+            f"{', '.join(BENCHMARKS)}, a corpus workload "
+            f"(list them with `python -m repro.corpus list`), "
+            f"or a .rtrc file"
+        ) from None
+
+
 def _trace_from_args(args: argparse.Namespace) -> Trace:
     if args.workload.endswith(".rtrc"):
         return load_trace(args.workload)
-    if args.workload not in BENCHMARKS:
-        raise SystemExit(
-            f"unknown workload {args.workload!r}; expected one of "
-            f"{', '.join(BENCHMARKS)} or a .rtrc file"
-        )
     return generate_trace(
-        workload_profile(args.workload), args.length, seed=args.seed
+        _named_profile(args.workload), args.length, seed=args.seed
     )
 
 
 def _trace_ref_from_args(args: argparse.Namespace) -> TraceLike:
     """A trace reference for engine jobs: a tiny :class:`TraceSpec` recipe
-    for named benchmarks (cache-compatible with the experiment runner's
-    keys), or the loaded trace by value for ``.rtrc`` files."""
+    for named benchmark/corpus profiles (cache-compatible with the
+    experiment runner's keys), or the loaded trace by value for ``.rtrc``
+    files."""
     if args.workload.endswith(".rtrc"):
+        if getattr(args, "stream", False):
+            raise SystemExit(
+                "--stream regenerates the trace region by region, so it "
+                "needs a named profile, not a .rtrc file"
+            )
         return load_trace(args.workload)
-    if args.workload not in BENCHMARKS:
-        raise SystemExit(
-            f"unknown workload {args.workload!r}; expected one of "
-            f"{', '.join(BENCHMARKS)} or a .rtrc file"
-        )
-    return TraceSpec(args.workload, args.length, args.seed)
+    _named_profile(args.workload)  # validate eagerly, before any engine work
+    return TraceSpec(
+        args.workload, args.length, args.seed,
+        stream=getattr(args, "stream", False),
+    )
 
 
 def sim_main(argv: Optional[List[str]] = None) -> int:
@@ -71,7 +87,9 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "workload",
-        help=f"benchmark name ({', '.join(BENCHMARKS)}) or a .rtrc trace file",
+        help=f"benchmark name ({', '.join(BENCHMARKS)}), a corpus workload "
+             "(corpus/...; list with `python -m repro.corpus list`), or a "
+             ".rtrc trace file",
     )
     parser.add_argument(
         "--core", action="append", default=[], metavar="NAME",
@@ -79,6 +97,12 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--length", type=int, default=60_000)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="generate the trace region by region instead of materialising "
+             "it (bit-identical results; see docs/corpus.md); keys the "
+             "cache separately from materialised runs",
+    )
     parser.add_argument("--latency-ns", type=float, default=1.0)
     parser.add_argument(
         "--backend", choices=BACKEND_CHOICES, default="reference",
@@ -274,7 +298,11 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate and save a trace")
-    gen.add_argument("workload", choices=BENCHMARKS)
+    gen.add_argument(
+        "workload",
+        help="benchmark or corpus workload name "
+             "(list the corpus with `python -m repro.corpus list`)",
+    )
     gen.add_argument("--length", type=int, default=60_000)
     gen.add_argument("--seed", type=int, default=11)
     gen.add_argument("--out", required=True, metavar="FILE.rtrc")
@@ -293,7 +321,7 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "generate":
         trace = generate_trace(
-            workload_profile(args.workload), args.length, seed=args.seed
+            _named_profile(args.workload), args.length, seed=args.seed
         )
         save_trace(trace, args.out)
         print(f"wrote {args.out}: {len(trace)} instructions, "

@@ -34,10 +34,11 @@ round-robin co-simulation without simulating idle base units.
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.faults import FaultPlan, XFER_CORRUPT, XFER_DELAY, XFER_DROP, XFER_OK
 from repro.isa.instructions import OpClass
+from repro.isa.stream import StreamingTrace
 from repro.isa.trace import Trace
 from repro.core.storequeue import SyncStoreQueue
 from repro.uarch.cache import Cache, CacheConfig
@@ -203,7 +204,7 @@ class ContestingSystem:
     def __init__(
         self,
         configs: Sequence[CoreConfig],
-        trace: Trace,
+        trace: Union[Trace, StreamingTrace],
         grb_latency_ns: float = 1.0,
         max_lag: int = 0,
         store_queue_capacity: int = 512,
@@ -230,6 +231,11 @@ class ContestingSystem:
                 f"unknown lagger_policy {lagger_policy!r}; "
                 "expected 'disable' or 'resync'"
             )
+        # Contested execution re-forks cores at arbitrary trace points and
+        # scans store prefixes up front, so a streaming trace is
+        # materialised once here rather than thrashing its chunk window.
+        if isinstance(trace, StreamingTrace):
+            trace = trace.materialise()
         self.trace = trace
         self.latency_ps = ns_to_ps(grb_latency_ns)
         #: Figure-5 corner case on/off (ablation hook; the paper's design
@@ -847,7 +853,7 @@ class ContestingSystem:
 def run_contest(
     config_a: CoreConfig,
     config_b: CoreConfig,
-    trace: Trace,
+    trace: Union[Trace, StreamingTrace],
     grb_latency_ns: float = 1.0,
     **kwargs: Any,
 ) -> ContestResult:

@@ -1,0 +1,47 @@
+"""Trace corpus: a parameterized profile grammar and a workload registry.
+
+The corpus grows the reproduction's scenario diversity beyond the eleven
+hand-written SPEC2000 profiles (:mod:`repro.isa.workloads`) without giving
+up any of their guarantees:
+
+* :mod:`repro.corpus.grammar` — declarative, versioned workload specs
+  (:class:`~repro.corpus.grammar.WorkloadSpec`) that compose the phase-type
+  vocabulary of :mod:`repro.isa.phases`; every spec serialises to canonical
+  JSON and carries a content hash, so a registry entry's identity is its
+  *behaviour*, not its name.
+* :mod:`repro.corpus.registry` — hundreds of named corpus workloads built
+  from the grammar, resolved by the same ``profile`` strings the engine,
+  service and CLI already pass around.  ``resolve_profile`` accepts both
+  legacy benchmark names and ``corpus/...`` names; ``profile_key`` folds
+  the content hash into engine cache keys so editing a registry entry
+  invalidates exactly the cached results it affects.
+
+Streaming generation (million-instruction traces without materialising)
+lives in :mod:`repro.isa.stream`; the conformance suite pinning the
+corpus' exactness guarantees lives in ``tests/corpus``.  See
+``docs/corpus.md`` for the grammar reference and the add-a-workload guide.
+"""
+
+from repro.corpus.grammar import (
+    GRAMMAR_VERSION,
+    PhaseSpec,
+    WorkloadSpec,
+)
+from repro.corpus.registry import (
+    corpus_names,
+    corpus_spec,
+    is_corpus_profile,
+    profile_key,
+    resolve_profile,
+)
+
+__all__ = [
+    "GRAMMAR_VERSION",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "corpus_names",
+    "corpus_spec",
+    "is_corpus_profile",
+    "profile_key",
+    "resolve_profile",
+]

@@ -1,0 +1,47 @@
+"""Corpus registry CLI: ``python -m repro.corpus {list,show} [name]``.
+
+``list`` prints every registered workload name (optionally filtered by a
+substring); ``show`` prints one entry's canonical JSON and content hash —
+the exact bytes its engine cache identity is derived from.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.corpus.registry import corpus_names, corpus_spec, profile_key
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.corpus",
+        description="inspect the trace-corpus registry",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_list = sub.add_parser("list", help="list registered workload names")
+    p_list.add_argument(
+        "filter", nargs="?", default="",
+        help="only names containing this substring",
+    )
+    p_show = sub.add_parser(
+        "show", help="print one entry's canonical JSON and content hash"
+    )
+    p_show.add_argument("name", help="corpus workload name")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        names = [n for n in corpus_names() if args.filter in n]
+        for name in names:
+            print(name)
+        print(f"# {len(names)} workloads", file=sys.stderr)
+        return 0
+
+    spec = corpus_spec(args.name)
+    print(spec.canonical_json())
+    print(f"# content hash: {spec.content_hash()}", file=sys.stderr)
+    print(f"# cache key:    {profile_key(args.name)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

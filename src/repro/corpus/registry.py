@@ -1,0 +1,190 @@
+"""The corpus registry: hundreds of named workloads, one resolution point.
+
+Every ``profile`` string the engine, service, CLI and experiments pass
+around resolves here.  Legacy benchmark names (``gcc``, ``mcf``, ...) keep
+resolving through :mod:`repro.isa.workloads` unchanged; ``corpus/...``
+names resolve through the grammar.  Two functions carry the contract:
+
+* :func:`resolve_profile` — name to :class:`~repro.isa.phases.PhaseMix`.
+* :func:`profile_key` — name to *cache identity*.  Legacy names are their
+  own key (hand-written profiles change only with ``SCHEMA_VERSION``);
+  corpus names append an abbreviated content hash
+  (``corpus/stream-f256k-b92@1a2b3c4d5e6f``), so editing a registry
+  entry's parameters invalidates exactly the cached engine results built
+  from it while renaming or adding *other* entries invalidates nothing.
+
+Registry entries are generated, not hand-enumerated: three families sweep
+the phase-template vocabulary over the axes the timing models are
+sensitive to (footprint tier, branch predictability, phase-mixing ratio
+and dwell).  The families are deterministic functions of the grammar, so
+the registry is identical in every process — a registry entry is as
+reproducible as the generator itself.  Versioning policy and the
+add-a-workload guide live in ``docs/corpus.md``.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.corpus.grammar import PhaseSpec, WorkloadSpec
+from repro.isa.phases import PHASE_TEMPLATES, PhaseMix
+from repro.isa.workloads import BENCHMARKS, workload_profile
+
+#: Name prefix distinguishing corpus workloads from legacy benchmarks.
+CORPUS_PREFIX = "corpus/"
+
+#: Footprint tiers (bytes) swept by the single-template family — spanning
+#: comfortably-L1 through past-every-L2 on the Appendix-A palette.
+_FOOTPRINTS: Tuple[Tuple[str, int], ...] = (
+    ("f16k", 16 * 1024),
+    ("f64k", 64 * 1024),
+    ("f256k", 256 * 1024),
+    ("f1m", 1024 * 1024),
+    ("f4m", 4 * 1024 * 1024),
+)
+
+#: Branch-predictability tiers (PhaseType.branch_bias).
+_BIASES: Tuple[Tuple[str, float], ...] = (
+    ("b85", 0.85),
+    ("b92", 0.92),
+    ("b98", 0.98),
+)
+
+#: Mixing ratios for the paired family: weight share of the first template.
+_RATIOS: Tuple[Tuple[str, float], ...] = (
+    ("r25", 0.25),
+    ("r50", 0.50),
+    ("r75", 0.75),
+)
+
+#: Dwell scales for the paired family: 1 = the template's native fine
+#: grain, 3 = the benchmark profiles' contesting-friendly regime.
+_DWELLS: Tuple[Tuple[str, int], ...] = (("d1", 1), ("d3", 3))
+
+#: Template pairs whose phase affinities contrast (every unordered pair of
+#: the seven templates), in vocabulary order.
+_PAIRS: Tuple[Tuple[str, str], ...] = tuple(
+    (a, b)
+    for i, a in enumerate(PHASE_TEMPLATES)
+    for b in PHASE_TEMPLATES[i + 1:]
+)
+
+
+def _single_family() -> List[WorkloadSpec]:
+    """One workload per (template, footprint tier, branch bias)."""
+    specs: List[WorkloadSpec] = []
+    for template in PHASE_TEMPLATES:
+        for ftag, footprint in _FOOTPRINTS:
+            for btag, bias in _BIASES:
+                specs.append(
+                    WorkloadSpec(
+                        name=f"{CORPUS_PREFIX}{template}-{ftag}-{btag}",
+                        phases=(
+                            PhaseSpec(
+                                template=template,
+                                params=(
+                                    ("branch_bias", bias),
+                                    ("footprint", footprint),
+                                ),
+                            ),
+                        ),
+                    )
+                )
+    return specs
+
+
+def _paired_family() -> List[WorkloadSpec]:
+    """One workload per (template pair, mixing ratio, dwell scale).
+
+    Pairs are the corpus' contesting workloads: two phases with different
+    core affinities alternating at a chosen grain, the structure Section 2
+    of the paper exploits.
+    """
+    specs: List[WorkloadSpec] = []
+    for a, b in _PAIRS:
+        for rtag, ratio in _RATIOS:
+            for dtag, dwell in _DWELLS:
+                specs.append(
+                    WorkloadSpec(
+                        name=f"{CORPUS_PREFIX}{a}+{b}-{rtag}-{dtag}",
+                        dwell_scale=dwell,
+                        phases=(
+                            PhaseSpec(template=a, weight=ratio),
+                            PhaseSpec(template=b, weight=1.0 - ratio),
+                        ),
+                    )
+                )
+    return specs
+
+
+def _build_registry() -> Dict[str, WorkloadSpec]:
+    registry: Dict[str, WorkloadSpec] = {}
+    for spec in _single_family() + _paired_family():
+        if spec.name in registry:
+            raise ValueError(f"duplicate corpus workload name {spec.name!r}")
+        if not spec.name.startswith(CORPUS_PREFIX):
+            raise ValueError(
+                f"corpus workload {spec.name!r} must start with "
+                f"{CORPUS_PREFIX!r}"
+            )
+        registry[spec.name] = spec
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def corpus_names() -> Tuple[str, ...]:
+    """All corpus workload names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def is_corpus_profile(name: str) -> bool:
+    """Whether ``name`` names a corpus registry entry."""
+    return name in _REGISTRY
+
+
+def corpus_spec(name: str) -> WorkloadSpec:
+    """The registry entry for ``name`` (KeyError with guidance if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown corpus workload {name!r}; {len(_REGISTRY)} entries "
+            f"are registered (see repro.corpus.corpus_names, or "
+            f"`python -m repro.corpus list`)"
+        ) from None
+
+
+def resolve_profile(name: str) -> PhaseMix:
+    """Resolve any profile name — legacy benchmark or corpus workload.
+
+    The single resolution point for every ``profile`` string in the
+    system: :class:`repro.engine.jobs.TraceSpec`, the service codec and
+    the CLI all route through here.
+    """
+    if name in _REGISTRY:
+        return _REGISTRY[name].build_mix()
+    if name in BENCHMARKS:
+        return workload_profile(name)
+    raise KeyError(
+        f"unknown profile {name!r}; expected one of the benchmarks "
+        f"({', '.join(BENCHMARKS)}) or a registered corpus workload "
+        f"({len(_REGISTRY)} entries; see repro.corpus.corpus_names)"
+    )
+
+
+def profile_key(name: str) -> str:
+    """Cache identity of a profile name.
+
+    Legacy benchmark names are their own key; corpus names carry an
+    abbreviated content hash so a parameter edit re-keys exactly the
+    results generated from that entry.  Raises for unknown names — a
+    cache key must never be built from a profile that cannot resolve.
+    """
+    if name in _REGISTRY:
+        return f"{name}@{_REGISTRY[name].content_hash()[:12]}"
+    if name in BENCHMARKS:
+        return name
+    raise KeyError(
+        f"unknown profile {name!r}; cannot derive a cache key for a "
+        f"profile that does not resolve"
+    )

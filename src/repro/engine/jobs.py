@@ -29,42 +29,74 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.analysis.regions import BASE_REGION, RegionLog, region_log
 from repro.backend.base import CONCRETE_BACKENDS
 from repro.core.system import ContestingSystem, ContestResult
+from repro.corpus.registry import profile_key, resolve_profile
 from repro.faults import FaultPlan
 from repro.isa.generator import generate_trace
+from repro.isa.stream import StreamingTrace
 from repro.isa.trace import Trace
-from repro.isa.workloads import workload_profile
 from repro.uarch.config import CoreConfig
 from repro.uarch.run import StandaloneResult, run_standalone
 
 #: Bump when a change to the simulator or the trace generator makes results
 #: computed under the previous version stale.  Participates in every cache
 #: key, so a bump invalidates the whole persistent store at once.
-SCHEMA_VERSION = 1
+#: History: 2 — trace fingerprints moved to the streamable per-field
+#: recipe (``repro-trace/2``) and spec keys to corpus-aware profile keys.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
 class TraceSpec:
     """A trace *recipe*: enough to regenerate the trace bit-identically.
 
-    Mirrors the arguments of :func:`repro.isa.generator.generate_trace`
-    (generation is deterministic in them), so a spec is a sound — and tiny —
-    stand-in for the trace it describes.
+    ``profile`` names either a legacy benchmark or a corpus workload
+    (resolved through :func:`repro.corpus.registry.resolve_profile`);
+    generation is deterministic in ``(profile, length, seed)``, so a spec
+    is a sound — and tiny — stand-in for the trace it describes.
+
+    ``stream=True`` resolves to a :class:`~repro.isa.stream.StreamingTrace`
+    instead of a materialised :class:`~repro.isa.trace.Trace`: the
+    simulation consumes generated regions through a bounded window, so the
+    recipe's length is no longer capped by memory.  Streaming execution is
+    bit-identical to materialised execution (pinned by ``tests/corpus``),
+    but the flag still keys the cache — a key describes the requested
+    computation, mirroring how the backend field is treated.
     """
 
     profile: str
     length: int
     seed: int = 11
+    stream: bool = False
 
     def materialise(self) -> Trace:
-        """Generate the described trace."""
+        """Generate the described trace in full."""
         return generate_trace(
-            workload_profile(self.profile), self.length, seed=self.seed
+            resolve_profile(self.profile), self.length, seed=self.seed
         )
 
-    def fingerprint(self) -> str:
-        """Stable identity of the recipe (not of the generated content)."""
-        return f"spec/{self.profile}/{self.length}/{self.seed}"
+    def resolve(self) -> "AnyTrace":
+        """The trace this spec describes, in its requested resident form."""
+        if self.stream:
+            return StreamingTrace(
+                resolve_profile(self.profile), self.length, seed=self.seed
+            )
+        return self.materialise()
 
+    def fingerprint(self) -> str:
+        """Stable identity of the recipe (not of the generated content).
+
+        Corpus profiles contribute their content hash through
+        :func:`~repro.corpus.registry.profile_key`, so registry entries
+        join the engine cache key without any schema change here.
+        """
+        key = f"spec/{profile_key(self.profile)}/{self.length}/{self.seed}"
+        if self.stream:
+            key += "/stream"
+        return key
+
+
+#: A concrete trace in either resident form.
+AnyTrace = Union[Trace, StreamingTrace]
 
 #: A trace by value or by recipe; every job accepts either.
 TraceLike = Union[Trace, TraceSpec]
@@ -88,11 +120,19 @@ _TRACE_MEMO: Dict[TraceSpec, Trace] = {}
 _TRACE_MEMO_CAP = 32
 
 
-def resolve_trace(trace: TraceLike) -> Trace:
-    """Materialise a :class:`TraceSpec` (memoised per process) or pass a
-    concrete :class:`Trace` through."""
+def resolve_trace(trace: TraceLike) -> AnyTrace:
+    """Resolve a :class:`TraceSpec` or pass a concrete trace through.
+
+    Materialised specs are memoised per process (a worker receiving many
+    jobs against one spec generates the trace once).  Streaming specs are
+    *not* memoised: a :class:`~repro.isa.stream.StreamingTrace` is lazy —
+    construction costs nothing — and sharing one across jobs would share
+    its chunk window and restart accounting.
+    """
     if not isinstance(trace, TraceSpec):
         return trace
+    if trace.stream:
+        return trace.resolve()
     if trace not in _TRACE_MEMO:
         if len(_TRACE_MEMO) >= _TRACE_MEMO_CAP:
             _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))

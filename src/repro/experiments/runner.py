@@ -37,7 +37,7 @@ from repro.telemetry import (
 )
 from repro.experiments import fig01, fig06, fig07, fig08, fig09, fig10
 from repro.experiments import fig11, fig12, fig13, appendix_a, table1
-from repro.experiments import ext_energy, ext_faults, ext_nway
+from repro.experiments import ext_corpus, ext_energy, ext_faults, ext_nway
 from repro.experiments import ext_queueing, ext_resync, ext_robustness
 from repro.experiments.common import SCALES, ExperimentContext
 
@@ -81,6 +81,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], Any]] = {
     "ext_energy": ext_energy.run,
     "ext_robustness": ext_robustness.run,
     "ext_faults": ext_faults.run,
+    "ext_corpus": ext_corpus.run,
 }
 
 _MODULES = {
@@ -92,6 +93,7 @@ _MODULES = {
     "ext_energy": ext_energy,
     "ext_robustness": ext_robustness,
     "ext_faults": ext_faults,
+    "ext_corpus": ext_corpus,
 }
 
 

@@ -3,15 +3,65 @@
 ``generate_trace`` walks a Markov chain over the mixture's phase types
 (geometric dwell, no self-transitions) and emits one :class:`Instr` per step.
 Generation is fully determined by ``(mix, length, seed)``.
+
+Generation is *chunked* at its core: :func:`generate_chunks` yields
+column-major :class:`TraceChunk` regions one at a time, drawing from the
+seeded RNG in exactly the per-instruction order the materialising path has
+always used, so a million-instruction trace can be produced and consumed
+region by region without ever materialising (see
+:class:`repro.isa.stream.StreamingTrace`).  :func:`generate_trace` is a
+thin consumer that assembles the chunks into a concrete
+:class:`~repro.isa.trace.Trace`; the two paths are bit-identical by
+construction and pinned by ``tests/corpus``.
 """
 
 from collections import deque
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
 
-from repro.isa.instructions import Instr, OpClass
+from repro.isa.instructions import Instr, OpClass, PRODUCING_OPS
 from repro.isa.phases import PhaseMix, PhaseType
 from repro.isa.trace import Trace
 from repro.util.rng import Random, substream
+
+#: Default streaming-generation region size, in instructions.  A runtime
+#: knob only: chunking never changes the emitted instruction stream or the
+#: trace fingerprint (pinned by ``tests/corpus/test_grammar.py``), so it
+#: deliberately does NOT participate in any cache identity.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+@dataclass
+class TraceChunk:
+    """One contiguous, column-major region of a generated trace.
+
+    ``start`` is the absolute index of the first instruction;
+    ``phase_starts`` holds the *absolute* indices (within this chunk) at
+    which a new fine-grain phase begins.  Columns mirror
+    :class:`~repro.isa.trace.DecodedTrace` field for field.
+    """
+
+    start: int
+    ops: List[int] = field(default_factory=list)
+    pcs: List[int] = field(default_factory=list)
+    deps1: List[int] = field(default_factory=list)
+    deps2: List[int] = field(default_factory=list)
+    addrs: List[int] = field(default_factory=list)
+    takens: List[bool] = field(default_factory=list)
+    phase_starts: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def instructions(self) -> List[Instr]:
+        """Materialise this chunk's rows as :class:`Instr` objects."""
+        return [
+            Instr(op=o, pc=p, dep1=d1, dep2=d2, addr=a, taken=t)
+            for o, p, d1, d2, a, t in zip(
+                self.ops, self.pcs, self.deps1, self.deps2,
+                self.addrs, self.takens,
+            )
+        ]
 
 
 class _PhaseRuntime:
@@ -56,27 +106,24 @@ def _sample_dwell(rng: Random, mean: int) -> int:
     return max(8, int(rng.expovariate(1.0 / mean)))
 
 
-def generate_trace(
+def generate_chunks(
     mix: PhaseMix,
     length: int,
     seed: int = 0,
-    name: Optional[str] = None,
-) -> Trace:
-    """Generate a ``length``-instruction trace for the given phase mixture.
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[TraceChunk]:
+    """Generate the trace for ``(mix, length, seed)`` as a chunk stream.
 
-    Parameters
-    ----------
-    mix:
-        The workload's phase mixture (see :mod:`repro.isa.workloads`).
-    length:
-        Number of dynamic instructions to emit.
-    seed:
-        Root seed; traces are bit-identical for identical arguments.
-    name:
-        Trace name; defaults to the mixture name.
+    Yields consecutive :class:`TraceChunk` regions of ``chunk_size``
+    instructions (the final one may be shorter).  The RNG draw order is
+    strictly per-instruction and independent of ``chunk_size``, so the
+    concatenated chunks are bit-identical to :func:`generate_trace` for
+    any chunking — the invariant the corpus parity suite pins.
     """
     if length <= 0:
         raise ValueError("trace length must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk size must be positive")
     rng = substream(seed, "trace", mix.name)
 
     region_names = []
@@ -107,9 +154,8 @@ def generate_trace(
             return rng.choices(indices, weights=transitions[current], k=1)[0]
         return rng.choices(indices, weights=weights, k=1)[0]
 
-    instructions: List[Instr] = []
-    phase_starts: List[int] = [0]
-    producers: deque = deque(maxlen=64)
+    chunk = TraceChunk(start=0, phase_starts=[0])
+    producers: Deque[int] = deque(maxlen=64)
     last_load_seq = -1
 
     current = pick_phase(-1)
@@ -121,7 +167,7 @@ def generate_trace(
             dwell = _sample_dwell(rng, runtimes[chosen].phase.mean_dwell)
             if chosen != current:
                 current = chosen
-                phase_starts.append(seq)
+                chunk.phase_starts.append(seq)
         dwell -= 1
 
         state = runtimes[current]
@@ -225,14 +271,50 @@ def generate_trace(
                 else not direction
             )
 
-        instr = Instr(op=op, pc=pc, dep1=dep1, dep2=dep2, addr=addr, taken=taken)
-        instructions.append(instr)
+        chunk.ops.append(int(op))
+        chunk.pcs.append(pc)
+        chunk.deps1.append(dep1)
+        chunk.deps2.append(dep2)
+        chunk.addrs.append(addr)
+        chunk.takens.append(taken)
 
-        if instr.produces:
+        if op in PRODUCING_OPS:
             producers.append(seq)
             if op == OpClass.LOAD:
                 last_load_seq = seq
 
+        if len(chunk.ops) >= chunk_size:
+            yield chunk
+            chunk = TraceChunk(start=seq + 1)
+
+    if chunk.ops:
+        yield chunk
+
+
+def generate_trace(
+    mix: PhaseMix,
+    length: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Trace:
+    """Generate a ``length``-instruction trace for the given phase mixture.
+
+    Parameters
+    ----------
+    mix:
+        The workload's phase mixture (see :mod:`repro.isa.workloads`).
+    length:
+        Number of dynamic instructions to emit.
+    seed:
+        Root seed; traces are bit-identical for identical arguments.
+    name:
+        Trace name; defaults to the mixture name.
+    """
+    instructions: List[Instr] = []
+    phase_starts: List[int] = []
+    for chunk in generate_chunks(mix, length, seed, chunk_size=length):
+        instructions.extend(chunk.instructions())
+        phase_starts.extend(chunk.phase_starts)
     return Trace(
         name=name or mix.name,
         instructions=instructions,

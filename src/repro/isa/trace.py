@@ -1,11 +1,154 @@
-"""Trace container with region iteration and summary statistics."""
+"""Trace container with region iteration and summary statistics.
+
+Two trace shapes satisfy the :class:`TraceSource` protocol the simulators
+consume: the concrete :class:`Trace` here (every instruction materialised)
+and :class:`repro.isa.stream.StreamingTrace` (regions generated on demand,
+never all resident).  Both fingerprint through the shared
+:class:`TraceHasher`, so the streaming and materialised hash of one recipe
+are identical by construction.
+"""
 
 import hashlib
 import sys
 from array import array
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    TypeVar,
+)
 
 from repro.isa.instructions import Instr, OpClass
+
+T_co = TypeVar("T_co", covariant=True)
+
+
+class Column(Protocol[T_co]):
+    """Read-only indexed access to one instruction field — the exact
+    surface the simulator hot loops use (index, iterate, len)."""
+
+    def __len__(self) -> int: ...
+
+    def __getitem__(self, index: int) -> T_co: ...
+
+    def __iter__(self) -> Iterator[T_co]: ...
+
+
+class DecodedColumns(Protocol):
+    """Column-major instruction fields, as the simulator hot loops read
+    them: six parallel columns indexed by dynamic sequence number.
+
+    Satisfied by :class:`DecodedTrace` (plain lists) and by the windowed
+    streaming columns of :class:`repro.isa.stream.StreamingDecoded`.
+    """
+
+    @property
+    def ops(self) -> Column[int]: ...
+
+    @property
+    def pcs(self) -> Column[int]: ...
+
+    @property
+    def deps1(self) -> Column[int]: ...
+
+    @property
+    def deps2(self) -> Column[int]: ...
+
+    @property
+    def addrs(self) -> Column[int]: ...
+
+    @property
+    def takens(self) -> Column[bool]: ...
+
+
+class TraceSource(Protocol):
+    """What a standalone simulation needs from a trace, structurally.
+
+    :class:`Trace` satisfies it with cached concrete columns;
+    :class:`repro.isa.stream.StreamingTrace` satisfies it with windowed
+    columns over chunked generation.  Code that needs the full trace
+    resident (contests, serialisation) takes :class:`Trace` explicitly.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def seed(self) -> int: ...
+
+    def __len__(self) -> int: ...
+
+    def __getitem__(self, index: int) -> Instr: ...
+
+    def decoded(self) -> DecodedColumns:
+        """Column-major view of the timing-relevant instruction fields."""
+        ...
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the trace (hex digest)."""
+        ...
+
+
+class TraceHasher:
+    """Chunk-incremental trace fingerprint (recipe ``repro-trace/2``).
+
+    The v2 recipe hashes each instruction field through its own sha256
+    sub-hasher, then combines the six sub-digests with a header (name,
+    seed, length) and a phase-start trailer.  Per-field sub-hashers make
+    the digest computable in a single pass over *chunked* generation —
+    field bytes arrive interleaved per region, not field-major — and the
+    trailer placement lets phase starts be folded in after the last chunk,
+    when they are first fully known.  Chunking therefore cannot affect the
+    digest: feeding one whole-trace chunk or a thousand single-instruction
+    chunks yields identical bytes into every sub-hasher (pinned by
+    ``tests/corpus/test_grammar.py``).
+    """
+
+    def __init__(self) -> None:
+        self._subs = [hashlib.sha256() for _ in range(6)]
+        self._length = 0
+
+    @staticmethod
+    def _bytes(typecode: str, values: Iterable[int]) -> bytes:
+        arr = array(typecode, values)
+        if arr.itemsize > 1 and sys.byteorder == "big":
+            arr.byteswap()
+        return arr.tobytes()
+
+    def update(
+        self,
+        ops: Sequence[int],
+        pcs: Sequence[int],
+        deps1: Sequence[int],
+        deps2: Sequence[int],
+        addrs: Sequence[int],
+        takens: Sequence[bool],
+    ) -> None:
+        """Fold one region's columns into the running digest."""
+        self._subs[0].update(self._bytes("B", ops))
+        self._subs[1].update(self._bytes("q", pcs))
+        self._subs[2].update(self._bytes("q", deps1))
+        self._subs[3].update(self._bytes("q", deps2))
+        self._subs[4].update(self._bytes("q", addrs))
+        self._subs[5].update(
+            self._bytes("B", (1 if t else 0 for t in takens))
+        )
+        self._length += len(ops)
+
+    def digest(
+        self, name: str, seed: int, phase_starts: Sequence[int]
+    ) -> str:
+        """Finalise: header + per-field sub-digests + phase-start trailer."""
+        h = hashlib.sha256()
+        h.update(f"repro-trace/2\x00{name}\x00{seed}\x00{self._length}".encode())
+        for sub in self._subs:
+            h.update(sub.digest())
+        h.update(("\x00" + ",".join(map(str, phase_starts))).encode())
+        return h.hexdigest()
 
 
 class DecodedTrace:
@@ -125,28 +268,20 @@ class Trace:
         traces share a fingerprint iff a simulator cannot distinguish them.
         The digest is platform-independent (fields are serialised
         little-endian) and cached — traces are immutable by convention.
+        Computed through :class:`TraceHasher` (one whole-trace chunk), so a
+        :class:`repro.isa.stream.StreamingTrace` of the same recipe hashes
+        to the same digest without materialising.
         """
         if self._fingerprint is None:
-            h = hashlib.sha256()
-            header = (
-                f"repro-trace/1\x00{self.name}\x00{self.seed}"
-                f"\x00{len(self.instructions)}"
-                f"\x00{','.join(map(str, self.phase_starts))}"
+            decoded = self.decoded()
+            hasher = TraceHasher()
+            hasher.update(
+                decoded.ops, decoded.pcs, decoded.deps1, decoded.deps2,
+                decoded.addrs, decoded.takens,
             )
-            h.update(header.encode())
-            instrs = self.instructions
-            ops = array("B", (i.op for i in instrs))
-            pcs = array("q", (i.pc for i in instrs))
-            dep1 = array("q", (i.dep1 for i in instrs))
-            dep2 = array("q", (i.dep2 for i in instrs))
-            addr = array("q", (i.addr for i in instrs))
-            taken = array("B", (1 if i.taken else 0 for i in instrs))
-            for arr in (ops, pcs, dep1, dep2, addr, taken):
-                if arr.itemsize > 1 and sys.byteorder == "big":
-                    arr = array(arr.typecode, arr)
-                    arr.byteswap()
-                h.update(arr.tobytes())
-            self._fingerprint = h.hexdigest()
+            self._fingerprint = hasher.digest(
+                self.name, self.seed, self.phase_starts
+            )
         return self._fingerprint
 
     def __repr__(self) -> str:

@@ -33,6 +33,7 @@ import dataclasses
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.backend.base import CONCRETE_BACKENDS
+from repro.corpus.registry import profile_key
 from repro.engine.jobs import (
     ContestJob,
     RegionLogJob,
@@ -101,16 +102,26 @@ def _typed(
 
 
 def decode_trace_spec(payload: object) -> TraceSpec:
-    """A :class:`TraceSpec` from ``{"profile", "length", "seed"?}``."""
+    """A :class:`TraceSpec` from
+    ``{"profile", "length", "seed"?, "stream"?}``.
+
+    ``profile`` accepts legacy benchmark names and corpus workload names
+    alike, validated eagerly — a request naming a profile that cannot
+    resolve fails at decode time, not inside a worker.  ``stream`` opts
+    the job into streaming generation (bounded-memory, bit-identical
+    results; see :class:`repro.engine.jobs.TraceSpec`).
+    """
     spec = _require_mapping(payload, "trace")
-    _check_keys(spec, ("profile", "length", "seed"), "trace")
+    _check_keys(spec, ("profile", "length", "seed", "stream"), "trace")
     profile = _typed(spec, "profile", (str,), "trace")
     length = _typed(spec, "length", (int,), "trace")
     seed = _typed(spec, "seed", (int,), "trace", default=11)
+    stream = _typed(spec, "stream", (bool,), "trace", default=False)
     if length < 1:
         raise CodecError(f"trace.length must be >= 1, got {length}")
     try:
-        return TraceSpec(profile, length, seed=seed)
+        profile_key(profile)  # reject unresolvable profiles at the edge
+        return TraceSpec(profile, length, seed=seed, stream=stream)
     except (KeyError, ValueError) as exc:
         raise CodecError(f"bad trace spec: {exc}")
 
@@ -302,11 +313,14 @@ def encode_job(job: SimJob) -> Dict[str, Any]:
 
     if not isinstance(job.trace, TraceSpec):
         raise CodecError("only TraceSpec-based jobs are encodable on the wire")
-    trace = {
+    trace: Dict[str, Any] = {
         "profile": job.trace.profile,
         "length": job.trace.length,
         "seed": job.trace.seed,
     }
+    # encoded only when set, so pre-existing wire forms stay byte-identical
+    if job.trace.stream:
+        trace["stream"] = True
     if isinstance(job, StandaloneJob):
         return {
             "kind": "standalone", "config": core(job.config), "trace": trace,

@@ -32,7 +32,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.isa.trace import Trace
+from repro.isa.trace import TraceSource
 from repro.uarch.branch import make_predictor
 from repro.uarch.cache import Cache, CacheHierarchy
 from repro.uarch.config import CoreConfig
@@ -141,7 +141,7 @@ class Core:
     def __init__(
         self,
         config: CoreConfig,
-        trace: Trace,
+        trace: TraceSource,
         core_id: int = 0,
         # the owning ContestingSystem (annotated loosely: repro.core
         # imports this module, so naming the class here would be circular)
@@ -178,9 +178,9 @@ class Core:
         )
         self.predictor = make_predictor(config.predictor, config.predictor_entries)
 
-        self._instrs = trace.instructions
         # Column-major decode, shared across all cores running this trace:
-        # the hot loop indexes plain lists instead of Instr attributes.
+        # the hot loop indexes plain lists (or windowed streaming columns)
+        # instead of Instr attributes.
         decoded = trace.decoded()
         self._ops = decoded.ops
         self._pcs = decoded.pcs
@@ -188,7 +188,7 @@ class Core:
         self._deps2 = decoded.deps2
         self._addrs = decoded.addrs
         self._takens = decoded.takens
-        self._n = len(self._instrs)
+        self._n = len(trace)
         # Hoisted config scalars (CoreConfig is frozen; reading through the
         # dataclass every cycle costs a dict lookup per field per stage).
         self._width = config.width

@@ -3,7 +3,7 @@
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.isa.trace import Trace
+from repro.isa.trace import TraceSource
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import RunStats
 
@@ -36,7 +36,7 @@ class StandaloneResult:
 
 def run_standalone(
     config: CoreConfig,
-    trace: Trace,
+    trace: TraceSource,
     region_size: int = 0,
     max_cycles: int = 0,
     prewarm: bool = True,

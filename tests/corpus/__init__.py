@@ -1,0 +1,3 @@
+"""Corpus conformance suite: grammar properties, registry invariants,
+streaming-vs-materialised parity, memory-cap enforcement, and golden
+corpus fixtures (regenerate with ``python -m tests.corpus.regenerate``)."""

@@ -1,0 +1,16 @@
+"""Regenerate the golden corpus fixtures after an *intended* change.
+
+    PYTHONPATH=src python -m tests.corpus.regenerate
+
+Rewrites ``tests/golden/corpus/corpus_golden.json``.  Review the diff
+cell by cell before committing it — a moved content hash invalidates
+every cached result keyed under that workload, and a moved fingerprint
+or cycle count is a claim that the generator or timing model was supposed
+to change.
+"""
+
+from tests.corpus.fixture import GOLDEN_PATH, save_goldens
+
+if __name__ == "__main__":
+    save_goldens()
+    print(f"wrote {GOLDEN_PATH}")

@@ -1,0 +1,51 @@
+"""Seeded random workload-spec sampling for the property-based tests.
+
+No hypothesis: a plain ``random.Random(seed)`` walk over curated parameter
+pools, so every "random" case is replayable from its index and the sampled
+matrix is identical on every run and machine.  Pools stay inside the
+ranges :class:`repro.isa.phases.PhaseType` validates, so a sampled spec
+failing to build is a grammar bug, not a sampler bug.
+"""
+
+import random
+from typing import List
+
+from repro.corpus import PhaseSpec, WorkloadSpec
+from repro.isa.phases import PHASE_TEMPLATES
+
+#: parameter pools: every value is individually valid for PhaseType
+BIAS_POOL = (0.60, 0.75, 0.85, 0.92, 0.98)
+FOOTPRINT_POOL = (16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024)
+SEQ_POOL = (0.2, 0.5, 0.8)
+STATIC_BRANCH_POOL = (4, 8, 16)
+TAKEN_POOL = (0.3, 0.5, 0.7)
+WEIGHT_POOL = (0.25, 0.5, 0.75)
+DWELL_POOL = (1, 2, 3)
+
+
+def sample_spec(index: int) -> WorkloadSpec:
+    """The ``index``-th sampled workload spec (deterministic in index)."""
+    rng = random.Random(0xC0 + index)
+    n_phases = rng.choice((1, 2))
+    templates = rng.sample(list(PHASE_TEMPLATES), n_phases)
+    phases = []
+    for i, template in enumerate(templates):
+        params = (
+            ("branch_bias", rng.choice(BIAS_POOL)),
+            ("footprint", rng.choice(FOOTPRINT_POOL)),
+            ("n_static_branches", rng.choice(STATIC_BRANCH_POOL)),
+            ("seq_frac", rng.choice(SEQ_POOL)),
+            ("taken_frac", rng.choice(TAKEN_POOL)),
+        )
+        weight = rng.choice(WEIGHT_POOL) if n_phases > 1 else 1.0
+        phases.append(PhaseSpec(template, weight=weight, params=params))
+    return WorkloadSpec(
+        name=f"corpus/prop-{index}",
+        phases=tuple(phases),
+        dwell_scale=rng.choice(DWELL_POOL),
+    )
+
+
+def sample_specs(count: int) -> List[WorkloadSpec]:
+    """The first ``count`` sampled specs."""
+    return [sample_spec(i) for i in range(count)]

@@ -1,0 +1,45 @@
+"""Pin the golden corpus fixtures (see ``fixture.py``)."""
+
+import pytest
+
+from tests.corpus.fixture import (
+    WORKLOADS,
+    compute_goldens,
+    load_goldens,
+)
+
+PINNED = ("content_hash", "fingerprint", "instructions", "cycles", "time_ps")
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_goldens()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_goldens()
+
+
+def test_fixture_covers_every_workload(golden):
+    assert sorted(golden) == sorted(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_workload_matches_golden(name, current, golden):
+    diffs = []
+    for stat in PINNED:
+        if current[name][stat] != golden[name][stat]:
+            diffs.append(
+                f"{name}: {stat} moved "
+                f"{golden[name][stat]} -> {current[name][stat]}"
+            )
+    for key, want in golden[name]["phases"].items():
+        got = current[name]["phases"][key]
+        if got != pytest.approx(want):
+            diffs.append(f"{name}: phases.{key} moved {want} -> {got}")
+    assert not diffs, (
+        "corpus output changed (regenerate with "
+        "`python -m tests.corpus.regenerate` if intended):\n  "
+        + "\n  ".join(diffs)
+    )

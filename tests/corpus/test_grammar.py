@@ -1,0 +1,138 @@
+"""Property-based grammar tests (seeded sampling, no hypothesis).
+
+Four properties over the sampled spec matrix: every sampled spec builds
+and generates; generation is deterministic in (spec, seed); specs survive
+a serialize/deserialize round trip with identical content hashes; and the
+trace fingerprint is invariant under chunk size — the streamed hash at
+chunk sizes 1, 64 and the default equals the materialised hash.
+"""
+
+import pytest
+
+from repro.corpus import GRAMMAR_VERSION, PhaseSpec, WorkloadSpec
+from repro.isa.generator import DEFAULT_CHUNK_SIZE, generate_trace
+from repro.isa.stream import StreamingTrace
+from repro.isa.trace import TraceHasher
+
+from tests.corpus.sampling import sample_spec, sample_specs
+
+N_SAMPLES = 20
+LENGTH = 1200
+
+
+@pytest.mark.parametrize("index", range(N_SAMPLES))
+def test_every_sampled_spec_builds_and_generates(index):
+    spec = sample_spec(index)
+    mix = spec.build_mix()
+    trace = generate_trace(mix, LENGTH, seed=index)
+    assert len(trace) == LENGTH
+    assert trace.name == spec.name
+
+
+@pytest.mark.parametrize("index", range(0, N_SAMPLES, 4))
+def test_generation_is_deterministic_in_spec_and_seed(index):
+    spec = sample_spec(index)
+    a = generate_trace(spec.build_mix(), LENGTH, seed=7)
+    b = generate_trace(spec.build_mix(), LENGTH, seed=7)
+    assert a.fingerprint() == b.fingerprint()
+    other = generate_trace(spec.build_mix(), LENGTH, seed=8)
+    assert other.fingerprint() != a.fingerprint()
+
+
+def test_round_trip_preserves_spec_and_content_hash():
+    for spec in sample_specs(N_SAMPLES):
+        back = WorkloadSpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.canonical_json() == spec.canonical_json()
+        assert back.content_hash() == spec.content_hash()
+
+
+def test_content_hash_is_sensitive_to_every_knob():
+    base = sample_spec(0)
+    variants = [
+        WorkloadSpec(base.name, base.phases, dwell_scale=base.dwell_scale + 1),
+        WorkloadSpec(base.name, base.phases, region="stack"),
+        WorkloadSpec(base.name, base.phases, version=base.version + 1),
+        WorkloadSpec("corpus/other", base.phases),
+    ]
+    hashes = {base.content_hash()} | {v.content_hash() for v in variants}
+    assert len(hashes) == len(variants) + 1
+
+
+@pytest.mark.parametrize("index", range(0, N_SAMPLES, 5))
+def test_fingerprint_invariant_under_chunk_size(index):
+    spec = sample_spec(index)
+    materialised = generate_trace(spec.build_mix(), LENGTH, seed=11)
+    want = materialised.fingerprint()
+    for chunk_size in (1, 64, DEFAULT_CHUNK_SIZE):
+        streamed = StreamingTrace(
+            spec.build_mix(), LENGTH, seed=11, chunk_size=chunk_size
+        )
+        assert streamed.fingerprint() == want, (
+            f"chunk_size={chunk_size} perturbed the fingerprint"
+        )
+
+
+def test_trace_hasher_chunking_cannot_affect_the_digest():
+    """The v2 recipe property the docstrings promise, pinned directly."""
+    trace = generate_trace(sample_spec(3).build_mix(), 300, seed=2)
+    d = trace.decoded()
+    whole = TraceHasher()
+    whole.update(d.ops, d.pcs, d.deps1, d.deps2, d.addrs, d.takens)
+    sliced = TraceHasher()
+    for lo in range(0, 300, 7):  # uneven 7-instruction slices
+        hi = min(lo + 7, 300)
+        sliced.update(
+            d.ops[lo:hi], d.pcs[lo:hi], d.deps1[lo:hi],
+            d.deps2[lo:hi], d.addrs[lo:hi], d.takens[lo:hi],
+        )
+    args = (trace.name, trace.seed, trace.phase_starts)
+    assert sliced.digest(*args) == whole.digest(*args)
+
+
+class TestValidation:
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ValueError, match="template"):
+            PhaseSpec("not_a_template")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="field"):
+            PhaseSpec("branchy", params=(("no_such_knob", 1),))
+
+    def test_reserved_params_rejected(self):
+        for reserved in ("name", "region"):
+            with pytest.raises(ValueError):
+                PhaseSpec("branchy", params=((reserved, "x"),))
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            PhaseSpec("branchy", weight=0.0)
+
+    def test_duplicate_phase_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            WorkloadSpec(
+                "corpus/dup",
+                (PhaseSpec("branchy"), PhaseSpec("branchy")),
+            )
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("corpus/empty", ())
+
+    def test_wrong_grammar_version_rejected(self):
+        payload = sample_spec(0).to_dict()
+        payload["grammar"] = GRAMMAR_VERSION + 1
+        with pytest.raises(ValueError, match="grammar"):
+            WorkloadSpec.from_dict(payload)
+
+    def test_unknown_keys_rejected(self):
+        payload = sample_spec(0).to_dict()
+        payload["extra"] = 1
+        with pytest.raises(ValueError):
+            WorkloadSpec.from_dict(payload)
+
+    def test_params_are_canonically_sorted(self):
+        a = PhaseSpec("branchy", params=(("footprint", 64), ("seq_frac", 0.2)))
+        b = PhaseSpec("branchy", params=(("seq_frac", 0.2), ("footprint", 64)))
+        assert a == b
+        assert a.params == tuple(sorted(a.params))

@@ -1,0 +1,97 @@
+"""Registry invariants: naming, sizing, hashing, resolution, cache keys.
+
+The registry is part of the cache identity (``profile_key`` feeds
+``TraceSpec.fingerprint``), so these tests pin the properties a content
+hash depends on: canonical serialization stability (one literal hash),
+uniqueness across the corpus, and the exact key format.
+"""
+
+import re
+
+import pytest
+
+from repro.corpus import (
+    corpus_names,
+    corpus_spec,
+    is_corpus_profile,
+    profile_key,
+    resolve_profile,
+)
+from repro.corpus.registry import CORPUS_PREFIX
+from repro.isa.phases import PhaseMix
+from repro.isa.workloads import BENCHMARKS
+
+#: pinned canonical content hash of one registry entry: moves only if the
+#: grammar serialization, the hash recipe, or the entry itself changes —
+#: all of which invalidate cached results and must be deliberate
+PINNED_NAME = "corpus/stream-f64k-b92"
+PINNED_HASH = (
+    "839932343ed238230146748661b40c6f04a8badfd8b52aaa00e5129079c78cf8"
+)
+
+
+def test_registry_size_is_pinned():
+    # 7 templates x 5 footprints x 3 biases singles, plus
+    # 21 template pairs x 3 ratios x 2 dwell scales
+    assert len(corpus_names()) == 7 * 5 * 3 + 21 * 3 * 2 == 231
+
+
+def test_names_are_sorted_unique_and_prefixed():
+    names = corpus_names()
+    assert list(names) == sorted(set(names))
+    assert all(n.startswith(CORPUS_PREFIX) for n in names)
+    assert not any(n in BENCHMARKS for n in names)
+
+
+def test_content_hashes_are_unique_across_the_corpus():
+    hashes = {corpus_spec(n).content_hash() for n in corpus_names()}
+    assert len(hashes) == len(corpus_names())
+
+
+def test_pinned_content_hash():
+    assert corpus_spec(PINNED_NAME).content_hash() == PINNED_HASH
+    assert profile_key(PINNED_NAME) == f"{PINNED_NAME}@{PINNED_HASH[:12]}"
+
+
+def test_profile_key_formats():
+    assert profile_key("gcc") == "gcc"  # legacy names key unchanged
+    pattern = re.compile(r"corpus/[a-z0-9_+\-]+@[0-9a-f]{12}$")
+    for name in corpus_names()[::23]:
+        assert pattern.fullmatch(profile_key(name)), profile_key(name)
+
+
+def test_profile_key_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        profile_key("corpus/zzz")
+    with pytest.raises(KeyError):
+        profile_key("not_a_benchmark")
+
+
+def test_is_corpus_profile():
+    assert is_corpus_profile(PINNED_NAME)
+    assert not is_corpus_profile("gcc")
+    assert not is_corpus_profile("corpus/zzz")
+
+
+def test_resolve_profile_covers_both_namespaces():
+    assert isinstance(resolve_profile("gcc"), PhaseMix)
+    mix = resolve_profile(PINNED_NAME)
+    assert isinstance(mix, PhaseMix)
+    assert mix.name == PINNED_NAME
+    with pytest.raises(KeyError, match="corpus"):
+        resolve_profile("corpus/zzz")
+
+
+def test_registry_specs_round_trip():
+    for name in corpus_names()[::29]:
+        spec = corpus_spec(name)
+        assert spec.name == name
+        back = type(spec).from_dict(spec.to_dict())
+        assert back == spec
+
+
+def test_paired_workloads_weight_both_templates():
+    mix = resolve_profile("corpus/branchy+compute_mul-r25-d1")
+    assert len(mix.entries) == 2
+    weights = sorted(w for _, w in mix.entries)
+    assert weights == pytest.approx([0.25, 0.75])

@@ -2,7 +2,7 @@
 
 import json
 
-from repro.engine.jobs import ContestJob, RegionLogJob, StandaloneJob
+from repro.engine.jobs import SCHEMA_VERSION, ContestJob, RegionLogJob, StandaloneJob
 from repro.engine.jobs import TraceSpec
 from repro.engine.store import ResultStore, decode_result, encode_result
 from repro.uarch.config import core_config
@@ -52,7 +52,7 @@ class TestRoundTrip:
 
 class TestCorruption:
     def test_garbage_file_loads_empty(self, tmp_path):
-        path = tmp_path / "results-v1.jsonl"
+        path = tmp_path / f"results-v{SCHEMA_VERSION}.jsonl"
         path.write_bytes(b"\x00\xffnot json at all\n{malformed\n")
         store = ResultStore(tmp_path)
         assert len(store) == 0
@@ -71,7 +71,7 @@ class TestCorruption:
         assert fresh.corrupt_lines == 1
 
     def test_bad_payload_shape_is_miss(self, tmp_path):
-        path = tmp_path / "results-v1.jsonl"
+        path = tmp_path / f"results-v{SCHEMA_VERSION}.jsonl"
         path.write_text(json.dumps(
             {"key": "k", "kind": "standalone", "value": {"nonsense": 1}}
         ) + "\n")

